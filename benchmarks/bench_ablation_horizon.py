@@ -1,0 +1,24 @@
+"""A4: TPR*-tree sensitivity to the metric-integration horizon H.
+
+The TPR family's structure quality depends on integrating its metrics
+over a horizon matched to the query window (Section 3.1).  This ablation
+shows how far a mis-tuned horizon degrades TPR* queries -- one candidate
+explanation for the large STRIPES-vs-TPR* query gaps the paper reports
+(its TPR* was "optimized for static point interval query").
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_ablation_horizon(benchmark, scale):
+    results = run_once(benchmark,
+                       lambda: experiments.horizon_ablation(scale))
+    named = {f"H={h:g}": r for h, r in results.items()}
+    print()
+    print(render_cost_table("A4: TPR* horizon sensitivity", named,
+                            scale.disk))
+    for result in results.values():
+        assert result.queries.count > 0

@@ -1,0 +1,25 @@
+"""A2: the Section 4.6.4 quad-pruning optimisation on/off.
+
+Classifying each plane's four quads once per node (instead of once per
+child) changes no answers and no IOs -- only query CPU.  Identical
+answers/IOs are asserted; the CPU difference is reported.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_ablation_quad_pruning(benchmark, scale):
+    results = run_once(benchmark,
+                       lambda: experiments.pruning_ablation(scale))
+    print()
+    print(render_cost_table("A2: quad pruning", results, scale.disk))
+    pruned = results["pruned"]
+    unpruned = results["unpruned"]
+    assert pruned.query_hits == unpruned.query_hits
+    assert pruned.queries.physical_io == unpruned.queries.physical_io
+    speedup = (unpruned.queries.mean_cpu_seconds()
+               / max(pruned.queries.mean_cpu_seconds(), 1e-12))
+    print(f"query CPU speedup from pruning: {speedup:.2f}x")

@@ -1,0 +1,79 @@
+"""Benchmarks for the future-work extensions: predictive kNN and distance
+joins, STRIPES vs TPR* vs the exact scan baseline.
+
+Correctness is asserted (index answers must match the oracle's distances /
+pair sets); timings show where the index-based algorithms beat the scan.
+"""
+
+import random
+
+import pytest
+
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.baselines.scan import ScanIndex
+from repro.extensions import distance_join, knn
+from repro.query.types import MovingObjectState
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTreeConfig
+
+N_OBJECTS = 4_000
+PMAX = (1000.0, 1000.0)
+VMAX = 3.0
+
+
+@pytest.fixture(scope="module")
+def loaded_indexes():
+    rng = random.Random(17)
+    stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                         lifetime=120.0))
+    pool = BufferPool(InMemoryPageFile(), capacity=4096)
+    tprstar = TPRStarTree(TPRTreeConfig(d=2, horizon=60.0),
+                          RecordStore(pool))
+    scan = ScanIndex(120.0)
+    for oid in range(N_OBJECTS):
+        state = MovingObjectState(
+            oid,
+            (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1])),
+            (rng.uniform(-VMAX, VMAX), rng.uniform(-VMAX, VMAX)),
+            0.0)
+        stripes.insert(state)
+        tprstar.insert(state)
+        scan.insert(state)
+    return {"STRIPES": stripes, "TPR*": tprstar, "SCAN": scan}
+
+
+@pytest.mark.parametrize("name", ["STRIPES", "TPR*", "SCAN"])
+def test_knn_benchmark(benchmark, loaded_indexes, name):
+    index = loaded_indexes[name]
+    oracle = loaded_indexes["SCAN"]
+    rng = random.Random(23)
+    queries = [((rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1])),
+                rng.uniform(0, 60)) for _ in range(64)]
+    state = {"i": 0}
+
+    def op():
+        point, t = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return knn(index, point, t, k=10)
+
+    result = benchmark(op)
+    expected = knn(oracle, queries[(state["i"] - 1) % len(queries)][0],
+                   queries[(state["i"] - 1) % len(queries)][1], k=10)
+    assert [round(d, 6) for _, d in result] \
+        == [round(d, 6) for _, d in expected]
+
+
+@pytest.mark.parametrize("name", ["STRIPES", "TPR*", "SCAN"])
+def test_self_join_benchmark(benchmark, loaded_indexes, name):
+    index = loaded_indexes[name]
+
+    def op():
+        return distance_join(index, index, radius=3.0, t=30.0)
+
+    pairs = benchmark.pedantic(op, rounds=1, iterations=1)
+    expected = distance_join(loaded_indexes["SCAN"], loaded_indexes["SCAN"],
+                             radius=3.0, t=30.0)
+    assert pairs == expected

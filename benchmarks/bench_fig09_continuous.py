@@ -1,0 +1,32 @@
+"""E1 / Figure 9: continuous performance per batch of operations.
+
+Paper shape: both STRIPES and the TPR*-tree are flat across batches
+(steady state); STRIPES' total batch cost is lower.  The steady-state
+flatness is asserted; the cost ordering is reported (it is scale-dependent
+under the Python substrate -- see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_batches
+
+
+def test_fig09_continuous_performance(benchmark, scale):
+    runs = run_once(benchmark,
+                    lambda: experiments.continuous_performance(scale))
+    for mix, results in runs.items():
+        print()
+        print(render_batches(f"Figure 9 analog ({mix} mix)", results,
+                             scale.disk))
+        for name, result in results.items():
+            batches = result.batches
+            assert batches, f"{name} produced no batches"
+            # Steady state: no batch (after warm-up) costs more than 4x the
+            # median batch -- the paper's Figure 9 shows flat series.
+            costs = sorted(b.total_seconds(scale.disk) for b in batches[1:]
+                           if b.ops == batches[0].ops)
+            if len(costs) >= 3:
+                median = costs[len(costs) // 2]
+                assert costs[-1] <= 4.0 * median + 1e-3, (
+                    f"{name} {mix}: batch costs degrade over time: {costs}")

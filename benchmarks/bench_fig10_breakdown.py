@@ -1,0 +1,25 @@
+"""E2 / Figure 10: total IO and CPU cost breakdown over the measured
+operations (log-scale bars in the paper).
+
+Paper shape: STRIPES' CPU component is far below the TPR*-tree's (the
+TPR* pays for integral metrics, ChoosePath, and reinsert sorting).
+The CPU ordering is asserted for update-heavy mixes.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_breakdown
+
+
+def test_fig10_cost_breakdown(benchmark, scale):
+    runs = run_once(benchmark,
+                    lambda: experiments.workload_mix_runs(scale))
+    for mix, results in runs.items():
+        print()
+        print(render_breakdown(f"Figure 10 analog ({mix} mix)", results,
+                               scale.disk))
+    # Update-heavy mix: STRIPES must spend less CPU on updates overall.
+    heavy = runs["80-20"]
+    assert heavy["STRIPES"].updates.cpu_seconds \
+        < heavy["TPR*"].updates.cpu_seconds

@@ -1,0 +1,28 @@
+"""E3 / Figure 11: average per-update cost (IO + CPU components).
+
+Paper shape: STRIPES updates are more than an order of magnitude cheaper
+than TPR* updates, driven by single-path descents versus ChoosePath's
+multi-path traversal and forced reinsertion.  Under the Python substrate
+the *CPU* component of that gap reproduces robustly at every scale and is
+asserted; the IO component is scale-dependent (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_fig11_per_update_cost(benchmark, scale):
+    runs = run_once(benchmark,
+                    lambda: experiments.workload_mix_runs(scale))
+    for mix, results in runs.items():
+        print()
+        print(render_cost_table(f"Figure 11 analog ({mix} mix)", results,
+                                scale.disk))
+        stripes = results["STRIPES"].updates
+        tprstar = results["TPR*"].updates
+        # STRIPES single-path updates must beat TPR* ChoosePath on CPU.
+        assert stripes.mean_cpu_seconds() < tprstar.mean_cpu_seconds(), (
+            f"{mix}: STRIPES update CPU {stripes.mean_cpu_seconds()} !< "
+            f"TPR* {tprstar.mean_cpu_seconds()}")

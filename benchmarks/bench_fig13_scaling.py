@@ -1,0 +1,35 @@
+"""E5 / Figure 13: effect of the number of moving objects (100K vs 900K
+analogs, 50-50 mix).
+
+Paper shape: at 100K the whole TPR*-tree fits in the 2048-page pool, so
+its queries incur no IO and beat STRIPES by ~35 %; STRIPES updates remain
+~5x faster.  At 900K the gap between the indexes widens in STRIPES'
+favour.  The pool-residency crossover (TPR* index pages <= pool at the
+100K analog, > pool at the 900K analog) is asserted, as is the zero query
+IO it implies for TPR*.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_fig13_scaling(benchmark, scale):
+    runs = run_once(benchmark, lambda: experiments.scaling(scale))
+    for paper_n, results in runs.items():
+        print()
+        print(render_cost_table(
+            f"Figure 13 analog ({paper_n // 1000}K objects)", results,
+            scale.disk))
+    small = runs[100_000]
+    large = runs[900_000]
+    # The 100K-analog TPR*-tree fits in the pool: queries read no pages.
+    assert small["TPR*"].pages_used <= scale.pool_pages
+    assert small["TPR*"].queries.physical_io == 0
+    # The 900K-analog does not fit.
+    assert large["TPR*"].pages_used > scale.pool_pages
+    # STRIPES update CPU advantage holds at both sizes.
+    for results in (small, large):
+        assert results["STRIPES"].updates.mean_cpu_seconds() \
+            < results["TPR*"].updates.mean_cpu_seconds()

@@ -1,0 +1,37 @@
+"""E6 / Figure 14: network-skewed data sets (ND = 20 and 60, 50-50 mix).
+
+Paper shape: "both index structures handle skewed data sets well" -- the
+per-op costs under skew stay in the same regime as the uniform 50-50
+workload, and the ordering between the indexes does not flip with ND.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_fig14_skew(benchmark, scale):
+    def run():
+        skewed = experiments.skew(scale)
+        uniform = experiments.workload_mix_runs(scale, mixes=(0.5,))
+        return skewed, uniform
+
+    skewed, uniform = run_once(benchmark, run)
+    base = uniform["50-50"]
+    print()
+    print(render_cost_table("uniform 50-50 (reference)", base, scale.disk))
+    for nd, results in skewed.items():
+        print()
+        print(render_cost_table(f"Figure 14 analog (ND={nd})", results,
+                                scale.disk))
+        for name in ("STRIPES", "TPR*"):
+            skew_upd = results[name].updates.mean_cpu_seconds()
+            base_upd = base[name].updates.mean_cpu_seconds()
+            # Skew must not blow up update cost (paper: handled well).
+            assert skew_upd < 5.0 * base_upd + 1e-4, (
+                f"{name} ND={nd}: skewed update CPU {skew_upd} vs uniform "
+                f"{base_upd}")
+        # STRIPES' update CPU advantage survives skew.
+        assert results["STRIPES"].updates.mean_cpu_seconds() \
+            < results["TPR*"].updates.mean_cpu_seconds()

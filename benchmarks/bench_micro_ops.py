@@ -1,0 +1,179 @@
+"""Micro-benchmarks of the core operations (proper repeated-measurement
+pytest-benchmark timings, complementing the one-shot figure experiments):
+
+* STRIPES insert / update / delete / the three query types;
+* TPR*-tree insert / update / query;
+* the dual transform and query-region construction.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.dual import DualSpace
+from repro.core.query_region import build_query_regions
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTreeConfig
+
+PMAX = (1000.0, 1000.0)
+VMAX = (3.0, 3.0)
+LIFETIME = 120.0
+N_LOADED = 3_000
+
+
+def random_state(rng, oid, t=0.0):
+    return MovingObjectState(
+        oid,
+        (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1])),
+        (rng.uniform(-VMAX[0], VMAX[0]), rng.uniform(-VMAX[1], VMAX[1])),
+        t)
+
+
+@pytest.fixture(scope="module")
+def loaded_stripes():
+    rng = random.Random(5)
+    index = StripesIndex(StripesConfig(vmax=VMAX, pmax=PMAX,
+                                       lifetime=LIFETIME))
+    states = {}
+    for oid in range(N_LOADED):
+        state = random_state(rng, oid)
+        index.insert(state)
+        states[oid] = state
+    return index, states
+
+
+@pytest.fixture(scope="module")
+def loaded_tprstar():
+    rng = random.Random(6)
+    pool = BufferPool(InMemoryPageFile(), capacity=4096)
+    tree = TPRStarTree(TPRTreeConfig(d=2, horizon=60.0), RecordStore(pool))
+    states = {}
+    for oid in range(N_LOADED):
+        state = random_state(rng, oid)
+        tree.insert(state)
+        states[oid] = state
+    return tree, states
+
+
+class TestStripesOps:
+    def test_insert(self, benchmark, loaded_stripes):
+        index, _ = loaded_stripes
+        rng = random.Random(7)
+        counter = itertools.count(10_000_000)
+
+        def op():
+            index.insert(random_state(rng, next(counter)))
+
+        benchmark(op)
+
+    def test_update(self, benchmark, loaded_stripes):
+        index, states = loaded_stripes
+        rng = random.Random(8)
+
+        def op():
+            oid = rng.randrange(N_LOADED)
+            new = random_state(rng, oid, t=rng.uniform(0, LIFETIME - 1))
+            index.update(states[oid], new)
+            states[oid] = new
+
+        benchmark(op)
+
+    def test_time_slice_query(self, benchmark, loaded_stripes):
+        index, _ = loaded_stripes
+        rng = random.Random(9)
+
+        def op():
+            x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+            return index.query(TimeSliceQuery((x, y), (x + 50, y + 50),
+                                              rng.uniform(0, 40)))
+
+        benchmark(op)
+
+    def test_window_query(self, benchmark, loaded_stripes):
+        index, _ = loaded_stripes
+        rng = random.Random(10)
+
+        def op():
+            x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+            t1 = rng.uniform(0, 20)
+            return index.query(WindowQuery((x, y), (x + 50, y + 50),
+                                           t1, t1 + 20))
+
+        benchmark(op)
+
+    def test_moving_query(self, benchmark, loaded_stripes):
+        index, _ = loaded_stripes
+        rng = random.Random(11)
+
+        def op():
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            t1 = rng.uniform(0, 20)
+            return index.query(MovingQuery(
+                (x, y), (x + 50, y + 50),
+                (x + 40, y + 40), (x + 90, y + 90), t1, t1 + 20))
+
+        benchmark(op)
+
+
+class TestTPRStarOps:
+    def test_insert(self, benchmark, loaded_tprstar):
+        tree, _ = loaded_tprstar
+        rng = random.Random(12)
+        counter = itertools.count(20_000_000)
+
+        def op():
+            tree.insert(random_state(rng, next(counter)))
+
+        benchmark(op)
+
+    def test_update(self, benchmark, loaded_tprstar):
+        tree, states = loaded_tprstar
+        rng = random.Random(13)
+
+        def op():
+            oid = rng.randrange(N_LOADED)
+            new = random_state(rng, oid, t=tree.now)
+            tree.update(states[oid], new)
+            states[oid] = new
+
+        benchmark(op)
+
+    def test_time_slice_query(self, benchmark, loaded_tprstar):
+        tree, _ = loaded_tprstar
+        rng = random.Random(14)
+
+        def op():
+            x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+            return tree.query(TimeSliceQuery((x, y), (x + 50, y + 50),
+                                             tree.now + rng.uniform(0, 40)))
+
+        benchmark(op)
+
+
+class TestPrimitives:
+    def test_dual_transform(self, benchmark):
+        space = DualSpace(vmax=VMAX, pmax=PMAX, lifetime=LIFETIME)
+        rng = random.Random(15)
+        states = [random_state(rng, oid, t=rng.uniform(0, 100))
+                  for oid in range(512)]
+        it = itertools.cycle(states)
+        benchmark(lambda: space.to_dual(next(it)))
+
+    def test_query_region_construction(self, benchmark):
+        rng = random.Random(16)
+        queries = [WindowQuery((x, x), (x + 50.0, x + 50.0),
+                               10.0, 30.0).as_moving()
+                   for x in (rng.uniform(0, 900) for _ in range(256))]
+        it = itertools.cycle(queries)
+        benchmark(lambda: build_query_regions(next(it), VMAX, LIFETIME, 0.0))

@@ -1,0 +1,50 @@
+"""E7 / Section 5.1: structural statistics after loading the 500K-analog
+uniform data set with the paper's 4-byte-float layout.
+
+Paper numbers at 500K: STRIPES ~11,200 pages vs TPR* ~4,600 (ratio ~2.4x);
+STRIPES height up to 7 vs TPR* height 4; 1,486 non-leaf nodes of 352 bytes
+(~11 per page); leaf occupancy ~24 % with the two-size scheme.  The
+benchmark asserts the scale-free parts of that story: STRIPES is the
+larger index by roughly the paper's factor, its non-leaf footprint is a
+tiny fraction of the total, and several non-leaf records share one page.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.experiments import ExperimentScale
+from repro.storage.page import PAGE_SIZE
+
+# Structure statistics need enough objects for leaf occupancy to settle
+# (at a few hundred objects both indexes are a handful of pages and the
+# ratio is noise).  Loading is insert-only and cheap, so this benchmark
+# enforces a floor of 2% of paper scale (10K objects).
+MIN_SCALE = 0.02
+
+
+def test_structure_stats(benchmark, scale):
+    if scale.scale < MIN_SCALE:
+        scale = ExperimentScale(scale=MIN_SCALE, seed=scale.seed)
+    stats = run_once(benchmark,
+                     lambda: experiments.structure_stats(scale))
+    print()
+    print(f"STRIPES pages {stats.stripes_pages}, height "
+          f"{stats.stripes_height}, non-leaf nodes "
+          f"{stats.stripes_nonleaf_nodes} x {stats.stripes_nonleaf_bytes} B, "
+          f"leaves {stats.stripes_small_leaves} small / "
+          f"{stats.stripes_large_leaves} large, occupancy "
+          f"{stats.stripes_leaf_occupancy:.1%}")
+    print(f"TPR* pages {stats.tprstar_pages}, height {stats.tprstar_height}")
+    print(f"size ratio {stats.size_ratio:.2f}x (paper ~2.4x)")
+
+    # STRIPES is the larger index, in the paper's ballpark (2.4x +/- wide).
+    assert 1.2 <= stats.size_ratio <= 6.0
+    # Non-leaf records are small: several fit per page (paper: ~11).
+    assert stats.stripes_nonleaf_bytes * 4 <= PAGE_SIZE
+    # Non-leaf footprint is a small fraction of the index.
+    nonleaf_pages = (stats.stripes_nonleaf_nodes
+                     * stats.stripes_nonleaf_bytes + PAGE_SIZE - 1) \
+        // PAGE_SIZE
+    assert nonleaf_pages <= 0.2 * stats.stripes_pages + 1
+    # The unbalanced quadtree is taller than the TPR* R-tree.
+    assert stats.stripes_height >= stats.tprstar_height

@@ -1,0 +1,52 @@
+"""X4-X6: parameter sweeps beyond the paper's figures.
+
+* Dimensionality (the paper's core motivation: boxes degrade with d,
+  points do not);
+* query spatial selectivity;
+* query temporal range W.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.report import render_cost_table
+
+
+def test_dimension_sweep(benchmark, scale):
+    runs = run_once(benchmark, lambda: experiments.dimension_sweep(scale))
+    for d, results in runs.items():
+        print()
+        print(render_cost_table(f"X4: d = {d}", results, scale.disk))
+        # The STRIPES update-CPU advantage must hold in every
+        # dimensionality (single-path point inserts vs box maintenance).
+        assert results["STRIPES"].updates.mean_cpu_seconds() \
+            < results["TPR*"].updates.mean_cpu_seconds()
+    ratios = {d: (results["TPR*"].updates.mean_cpu_seconds()
+                  / max(results["STRIPES"].updates.mean_cpu_seconds(),
+                        1e-12))
+              for d, results in runs.items()}
+    print(f"\nupdate CPU ratio TPR*/STRIPES by dimension: "
+          + ", ".join(f"d={d}: {r:.1f}x" for d, r in ratios.items()))
+
+
+def test_selectivity_sweep(benchmark, scale):
+    runs = run_once(benchmark, lambda: experiments.selectivity_sweep(scale))
+    hits = []
+    for fraction, results in runs.items():
+        print()
+        print(render_cost_table(f"X5: query area fraction = {fraction}",
+                                results, scale.disk))
+        hits.append(results["STRIPES"].query_hits)
+    # Bigger queries return more results.
+    assert hits == sorted(hits)
+
+
+def test_temporal_range_sweep(benchmark, scale):
+    runs = run_once(benchmark,
+                    lambda: experiments.temporal_range_sweep(scale))
+    for window, results in runs.items():
+        print()
+        print(render_cost_table(f"X6: temporal range W = {window:g}",
+                                results, scale.disk))
+        for result in results.values():
+            assert result.queries.count > 0

@@ -1,0 +1,29 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every benchmark runs the corresponding paper experiment at
+``STRIPES_BENCH_SCALE`` (default 0.002, i.e. 1K objects for the paper's
+500K) so the whole suite finishes in a couple of minutes under CPython.
+Set the environment variable higher for more faithful shapes -- see
+EXPERIMENTS.md for recorded full-scale (1.0) results::
+
+    STRIPES_BENCH_SCALE=0.01 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import ExperimentScale
+
+DEFAULT_SCALE = 0.002
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    value = float(os.environ.get("STRIPES_BENCH_SCALE", DEFAULT_SCALE))
+    return ExperimentScale(scale=value, seed=7)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: index predicted trajectories and ask the three query types.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MovingObjectState,
+    MovingQuery,
+    StripesConfig,
+    StripesIndex,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+
+def main() -> None:
+    # A 1000 x 1000 km space, speeds up to 3 km/min, and an index lifetime
+    # of 120 time units (objects must re-report at least that often).
+    config = StripesConfig(vmax=(3.0, 3.0), pmax=(1000.0, 1000.0),
+                           lifetime=120.0)
+    index = StripesIndex(config)
+
+    # Three vehicles report (position, velocity) at time 0.
+    index.insert(MovingObjectState(oid=1, pos=(100.0, 100.0),
+                                   vel=(2.0, 0.0), t=0.0))    # eastbound
+    index.insert(MovingObjectState(oid=2, pos=(500.0, 500.0),
+                                   vel=(0.0, -1.5), t=0.0))   # southbound
+    index.insert(MovingObjectState(oid=3, pos=(900.0, 100.0),
+                                   vel=(-2.5, 2.5), t=0.0))   # northwest
+
+    # Time-slice: who is predicted inside [150,350] x [50,250] at t=60?
+    snapshot = TimeSliceQuery((150.0, 50.0), (350.0, 250.0), t=60.0)
+    print("time-slice @t=60:", index.query(snapshot))  # vehicle 1 at (220,100)
+
+    # Window: who crosses the depot area at any time in [0, 200]?
+    depot = WindowQuery((480.0, 150.0), (520.0, 250.0),
+                        t_low=0.0, t_high=200.0)
+    print("window [0,200]: ", index.query(depot))      # vehicle 2 passes through
+
+    # Moving: a storm cell drifting east -- who does it sweep over?
+    storm = MovingQuery((50.0, 350.0), (250.0, 550.0),
+                        (450.0, 350.0), (650.0, 550.0),
+                        t_low=0.0, t_high=120.0)
+    print("moving storm:  ", index.query(storm))
+
+    # Vehicle 1 turns: an update is a delete of the old parameters plus an
+    # insert of the new ones (the object reports both).
+    old = MovingObjectState(1, (100.0, 100.0), (2.0, 0.0), 0.0)
+    new = MovingObjectState(1, (220.0, 100.0), (0.0, 2.0), 60.0)
+    index.update(old, new)
+    print("after turn:    ",
+          index.query(TimeSliceQuery((150.0, 150.0), (350.0, 350.0), 120.0)))
+
+    print("live entries:  ", len(index))
+    print("index pages:   ", index.pages_in_use())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate every figure/table of the paper's evaluation at a small
+scale (the programmatic twin of the ``stripes-bench all`` command).
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+
+where ``scale`` (default 0.005) is the fraction of the paper's experiment
+size; see EXPERIMENTS.md for full-scale (scale=1.0) results.
+"""
+
+import sys
+
+from repro.bench import experiments
+from repro.bench.experiments import ExperimentScale
+from repro.bench.report import (
+    render_batches,
+    render_breakdown,
+    render_cost_table,
+)
+
+
+def main() -> None:
+    scale_value = float(sys.argv[1]) if len(sys.argv) > 1 else 0.005
+    scale = ExperimentScale(scale=scale_value)
+    disk = scale.disk
+    print(f"== STRIPES evaluation suite at scale {scale_value} ==\n")
+
+    print("-- Figures 9-12: 500K-uniform, three workload mixes --")
+    runs = experiments.workload_mix_runs(scale)
+    for mix, results in runs.items():
+        print(render_batches(f"[Fig 9] {mix}: cost per batch",
+                             results, disk))
+        print()
+        print(render_breakdown(f"[Fig 10] {mix}: IO/CPU breakdown",
+                               results, disk))
+        print()
+        print(render_cost_table(f"[Figs 11-12] {mix}: per-op costs",
+                                results, disk))
+        print()
+
+    print("-- Figure 13: scaling the number of objects (50-50) --")
+    for paper_n, results in experiments.scaling(scale).items():
+        print(render_cost_table(f"[Fig 13] {paper_n // 1000}K objects",
+                                results, disk))
+        print()
+
+    print("-- Figure 14: network skew (50-50) --")
+    for nd, results in experiments.skew(scale).items():
+        print(render_cost_table(f"[Fig 14] ND={nd}", results, disk))
+        print()
+
+    print("-- Section 5.1: structure statistics --")
+    stats = experiments.structure_stats(scale)
+    print(f"STRIPES: {stats.stripes_pages} pages, height "
+          f"{stats.stripes_height}, {stats.stripes_nonleaf_nodes} non-leaf "
+          f"nodes of {stats.stripes_nonleaf_bytes} B, occupancy "
+          f"{stats.stripes_leaf_occupancy:.0%}")
+    print(f"TPR*:    {stats.tprstar_pages} pages, height "
+          f"{stats.tprstar_height}")
+    print(f"size ratio STRIPES/TPR* = {stats.size_ratio:.2f}x "
+          f"(paper: ~2.4x)")
+
+
+if __name__ == "__main__":
+    main()

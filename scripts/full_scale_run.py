@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Full-paper-scale evaluation run (Figures 9-12 analog at scale=1.0).
+
+Runs the 500K-uniform workload with the paper's exact sizes: 2048-page
+buffer pool, 50K measured operations in batches of 5K, for STRIPES and the
+TPR*-tree.  Takes tens of minutes under CPython; results are appended to
+results/full_scale.txt as each stage completes so partial progress is
+never lost.
+
+Usage::
+
+    python scripts/full_scale_run.py [--mix 0.5] [--n-ops 50000]
+        [--paper-n 500000] [--nd ND] [--out results/full_scale.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.experiments import ExperimentScale
+from repro.bench.report import (
+    render_batches,
+    render_breakdown,
+    render_cost_table,
+    render_load,
+)
+from repro.bench.runner import make_stripes, make_tprstar, run_workload
+
+
+def log(out_path: str, text: str) -> None:
+    print(text, flush=True)
+    with open(out_path, "a") as fh:
+        fh.write(text + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--mix", type=float, default=0.5)
+    parser.add_argument("--n-ops", type=int, default=50_000)
+    parser.add_argument("--paper-n", type=int, default=500_000)
+    parser.add_argument("--nd", type=int, default=None)
+    parser.add_argument("--pool", type=int, default=2048)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="results/full_scale.txt")
+    args = parser.parse_args()
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    scale = ExperimentScale(scale=1.0, seed=args.seed)
+    disk = scale.disk
+
+    label = (f"N={args.paper_n} mix={args.mix} ops={args.n_ops} "
+             f"pool={args.pool} nd={args.nd} seed={args.seed}")
+    log(args.out, f"=== full-scale run {label} ===")
+
+    t0 = time.time()
+    spec_workload = ExperimentScale(scale=1.0, seed=args.seed)
+    workload = spec_workload.workload(args.paper_n, args.mix, nd=args.nd)
+    log(args.out, f"workload generated in {time.time() - t0:.0f}s: "
+                  f"{len(workload.initial)} objects, {len(workload)} ops "
+                  f"({workload.n_updates} upd / {workload.n_queries} qry)")
+
+    results = {}
+    for name, factory in (("STRIPES", make_stripes),
+                          ("TPR*", make_tprstar)):
+        t0 = time.time()
+        setup = factory(workload, args.pool)
+        result = run_workload(setup, workload, n_ops=args.n_ops,
+                              batch_size=5_000)
+        results[name] = result
+        log(args.out, f"{name} done in {time.time() - t0:.0f}s "
+                      f"(load {result.load.cpu_seconds:.0f}s cpu, "
+                      f"{result.load.physical_io} IO; pages "
+                      f"{result.pages_used})")
+        log(args.out, render_cost_table(
+            f"per-op costs ({label})", {name: result}, disk))
+
+    log(args.out, render_load(f"load + size ({label})", results, disk))
+    log(args.out, render_breakdown(f"Figure 10 analog ({label})",
+                                   results, disk))
+    log(args.out, render_cost_table(f"Figures 11/12 analog ({label})",
+                                    results, disk))
+    log(args.out, render_batches(f"Figure 9 analog ({label})",
+                                 results, disk))
+    log(args.out, "=== run complete ===")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

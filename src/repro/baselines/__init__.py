@@ -1,0 +1,6 @@
+"""Reference baselines: the exact linear-scan index used as a correctness
+oracle and as a no-index comparison point in the benchmarks."""
+
+from repro.baselines.scan import ScanIndex
+
+__all__ = ["ScanIndex"]

@@ -1,0 +1,109 @@
+"""Exact linear-scan baseline.
+
+:class:`ScanIndex` stores every live trajectory in memory and answers
+queries by evaluating the exact native-space predicate
+(:func:`repro.query.predicates.matches`) against each one.  It deliberately
+mirrors STRIPES' lifetime protocol -- entries whose update timestamp falls
+two or more lifetime windows behind the newest update are expired -- so
+that its result sets are directly comparable with the STRIPES and TPR
+indexes in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.predicates import matches
+from repro.query.types import MovingObjectState, PredictiveQuery
+
+
+class ScanIndex:
+    """Correctness oracle with the same update/query interface as the
+    real indexes."""
+
+    def __init__(self, lifetime: float):
+        if lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        self.lifetime = lifetime
+        # window -> (oid -> list of states); a list per oid keeps the
+        # oracle honest even if a caller inserts duplicate object ids.
+        self._windows: Dict[int, Dict[int, List[MovingObjectState]]] = {}
+
+    def _window(self, t: float) -> int:
+        if t < 0:
+            raise ValueError(f"timestamps must be non-negative, got {t}")
+        return int(t // self.lifetime)
+
+    def _retire_expired(self, newest: int) -> None:
+        for window in [w for w in self._windows if w < newest - 1]:
+            del self._windows[window]
+
+    @property
+    def live_windows(self) -> List[int]:
+        return sorted(self._windows)
+
+    def __len__(self) -> int:
+        return sum(len(states)
+                   for window in self._windows.values()
+                   for states in window.values())
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, obj: MovingObjectState) -> None:
+        window = self._window(obj.t)
+        self._windows.setdefault(window, {}).setdefault(
+            obj.oid, []).append(obj)
+        self._retire_expired(newest=max(self._windows))
+
+    def delete(self, obj: MovingObjectState) -> bool:
+        window = self._windows.get(self._window(obj.t))
+        if window is None:
+            return False
+        states = window.get(obj.oid)
+        if not states:
+            return False
+        # Exact match first, then fall back to any entry with the oid
+        # (mirrors the quadtree's rounding-tolerant delete).
+        for i, state in enumerate(states):
+            if state == obj:
+                states.pop(i)
+                break
+        else:
+            states.pop(0)
+        if not states:
+            del window[obj.oid]
+        return True
+
+    def update(self, old: Optional[MovingObjectState],
+               new: MovingObjectState) -> bool:
+        # Rotate on arrival of the update (before the old entry is looked
+        # up), mirroring StripesIndex.update's window semantics.
+        window = self._window(new.t)
+        self._windows.setdefault(window, {})
+        self._retire_expired(newest=max(self._windows))
+        removed = self.delete(old) if old is not None else False
+        self.insert(new)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, query: PredictiveQuery) -> List[int]:
+        """Object ids matching the query, by exhaustive exact evaluation."""
+        results: List[int] = []
+        for window in self._windows.values():
+            for states in window.values():
+                for state in states:
+                    if matches(state, query):
+                        results.append(state.oid)
+        return results
+
+    def live_states(self) -> List[MovingObjectState]:
+        """All live trajectories (test helper)."""
+        return [state
+                for window in self._windows.values()
+                for states in window.values()
+                for state in states]

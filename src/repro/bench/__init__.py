@@ -1,0 +1,34 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 5).
+
+* :mod:`repro.bench.runner` -- builds each index over its own buffer pool
+  and replays a workload, recording physical IOs and CPU time per
+  operation.
+* :mod:`repro.bench.experiments` -- one entry point per paper figure/table
+  (Figures 9-14, the Section 5.1 structure statistics) plus the ablations
+  of DESIGN.md.
+* :mod:`repro.bench.report` -- renders results as the rows/series the
+  paper plots.
+* :mod:`repro.bench.cli` -- the ``stripes-bench`` command.
+"""
+
+from repro.bench.runner import (
+    IndexSetup,
+    RunResult,
+    make_scan,
+    make_stripes,
+    make_tpr,
+    make_tprstar,
+    run_workload,
+)
+from repro.bench.experiments import ExperimentScale
+
+__all__ = [
+    "IndexSetup",
+    "RunResult",
+    "run_workload",
+    "make_stripes",
+    "make_tpr",
+    "make_tprstar",
+    "make_scan",
+    "ExperimentScale",
+]

@@ -1,0 +1,138 @@
+"""The ``stripes-bench`` command: regenerate any paper figure from the
+command line.
+
+Examples::
+
+    stripes-bench fig9                 # continuous performance, 1% scale
+    stripes-bench fig12 --scale 0.05   # per-query costs, 5% scale
+    stripes-bench all --scale 0.002    # everything, tiny and fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.experiments import ExperimentScale
+from repro.bench.report import (
+    render_batches,
+    render_breakdown,
+    render_cost_table,
+    render_load,
+)
+
+EXPERIMENTS = ("fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+               "structure", "ablation-leaf", "ablation-pruning",
+               "ablation-choosepath", "ablation-horizon",
+               "sweep-dimension", "sweep-selectivity", "sweep-temporal")
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def run_experiment(name: str, scale: ExperimentScale) -> None:
+    """Run one named experiment and print its paper-style tables."""
+    disk = scale.disk
+    if name in ("fig9", "fig10", "fig11", "fig12"):
+        runs = experiments.workload_mix_runs(scale)
+        for mix, results in runs.items():
+            if name == "fig9":
+                _print(render_batches(
+                    f"Figure 9 analog -- 500K-Uniform, {mix} mix, "
+                    f"cost per batch", results, disk))
+            elif name == "fig10":
+                _print(render_breakdown(
+                    f"Figure 10 analog -- 500K-Uniform, {mix} mix, "
+                    f"IO/CPU breakdown", results, disk))
+            else:
+                _print(render_cost_table(
+                    f"Figures 11/12 analog -- 500K-Uniform, {mix} mix, "
+                    f"per-op costs", results, disk))
+    elif name == "fig13":
+        for paper_n, results in experiments.scaling(scale).items():
+            _print(render_cost_table(
+                f"Figure 13 analog -- {paper_n // 1000}K objects, 50-50 mix",
+                results, disk))
+    elif name == "fig14":
+        for nd, results in experiments.skew(scale).items():
+            _print(render_cost_table(
+                f"Figure 14 analog -- 500K-Skew ND={nd}, 50-50 mix",
+                results, disk))
+    elif name == "structure":
+        stats = experiments.structure_stats(scale)
+        print(f"Section 5.1 analog -- structure statistics "
+              f"(scale {scale.scale}):")
+        print(f"  STRIPES pages:          {stats.stripes_pages}")
+        print(f"  STRIPES height:         {stats.stripes_height}")
+        print(f"  STRIPES non-leaf nodes: {stats.stripes_nonleaf_nodes} "
+              f"({stats.stripes_nonleaf_bytes} bytes each)")
+        print(f"  STRIPES leaves:         {stats.stripes_small_leaves} "
+              f"small + {stats.stripes_large_leaves} large, occupancy "
+              f"{stats.stripes_leaf_occupancy:.1%}")
+        print(f"  TPR* pages:             {stats.tprstar_pages}")
+        print(f"  TPR* height:            {stats.tprstar_height}")
+        print(f"  size ratio STRIPES/TPR*: {stats.size_ratio:.2f}x "
+              f"(paper: ~2.4x)")
+        print()
+    elif name == "ablation-leaf":
+        results = experiments.leaf_size_ablation(scale)
+        _print(render_load("A1 -- two leaf sizes vs single size (load)",
+                           results, disk))
+        _print(render_cost_table("A1 -- per-op costs", results, disk))
+    elif name == "ablation-pruning":
+        results = experiments.pruning_ablation(scale)
+        _print(render_cost_table(
+            "A2 -- quad pruning on/off (same IOs, CPU differs)",
+            results, disk))
+    elif name == "ablation-choosepath":
+        results = experiments.choosepath_ablation(scale)
+        _print(render_cost_table("A3 -- TPR* ChoosePath vs greedy TPR",
+                                 results, disk))
+    elif name == "ablation-horizon":
+        results = experiments.horizon_ablation(scale)
+        named = {f"H={h:g}": r for h, r in results.items()}
+        _print(render_cost_table("A4 -- TPR* metric-horizon sensitivity",
+                                 named, disk))
+    elif name == "sweep-dimension":
+        for d, results in experiments.dimension_sweep(scale).items():
+            _print(render_cost_table(f"X4 -- dimensionality d={d}",
+                                     results, disk))
+    elif name == "sweep-selectivity":
+        for fraction, results in experiments.selectivity_sweep(scale).items():
+            _print(render_cost_table(
+                f"X5 -- query area fraction {fraction}", results, disk))
+    elif name == "sweep-temporal":
+        for window, results in experiments.temporal_range_sweep(
+                scale).items():
+            _print(render_cost_table(
+                f"X6 -- query temporal range W={window:g}", results, disk))
+    else:
+        raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stripes-bench",
+        description="Regenerate the STRIPES paper's evaluation figures.")
+    parser.add_argument("experiment",
+                        choices=EXPERIMENTS + ("all",),
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="fraction of the paper's experiment size "
+                             "(default 0.01; 1.0 = paper scale)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload random seed")
+    args = parser.parse_args(argv)
+    scale = ExperimentScale(scale=args.scale, seed=args.seed)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        run_experiment(name, scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Render experiment results as the rows/series the paper reports.
+
+All output is plain text so it survives CI logs and ``pytest -s``.  Costs
+are reported three ways: raw physical IOs, measured CPU milliseconds, and
+a *modelled total* (CPU + IOs priced by the
+:class:`repro.storage.stats.DiskModel`).  The paper's absolute
+milliseconds are not reproducible on a different substrate; the raw IO
+and CPU columns are the comparable quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.runner import RunResult
+from repro.storage.stats import DiskModel
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Simple aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cost_row(name: str, result: RunResult, disk: DiskModel) -> List[object]:
+    upd, qry = result.updates, result.queries
+    return [
+        name,
+        upd.count,
+        f"{upd.mean_io():.2f}",
+        f"{upd.mean_cpu_seconds() * 1e3:.3f}",
+        f"{upd.mean_total_seconds(disk) * 1e3:.2f}",
+        qry.count,
+        f"{qry.mean_io():.2f}",
+        f"{qry.mean_cpu_seconds() * 1e3:.3f}",
+        f"{qry.mean_total_seconds(disk) * 1e3:.2f}",
+    ]
+
+
+COST_HEADERS = ["index", "#upd", "upd IO/op", "upd CPU ms", "upd total ms",
+                "#qry", "qry IO/op", "qry CPU ms", "qry total ms"]
+
+
+def render_cost_table(title: str, results: Dict[str, RunResult],
+                      disk: DiskModel) -> str:
+    """Figures 11-14 style: average per-update and per-query costs."""
+    rows = [_cost_row(name, result, disk)
+            for name, result in results.items()]
+    return format_table(COST_HEADERS, rows, title)
+
+
+def render_breakdown(title: str, results: Dict[str, RunResult],
+                     disk: DiskModel) -> str:
+    """Figure 10 style: total IO and CPU components over the run."""
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.ops,
+            result.total_physical_io(),
+            f"{disk.seconds(result.total_physical_io()):.3f}",
+            f"{result.total_cpu_seconds():.3f}",
+            f"{result.total_seconds(disk):.3f}",
+        ])
+    return format_table(
+        ["index", "ops", "physical IO", "IO s (model)", "CPU s", "total s"],
+        rows, title)
+
+
+def render_batches(title: str, results: Dict[str, RunResult],
+                   disk: DiskModel) -> str:
+    """Figure 9 style: per-batch total cost series for each index."""
+    names = list(results)
+    n_batches = max((len(r.batches) for r in results.values()), default=0)
+    headers = ["batch"] + [f"{n} total s" for n in names] \
+        + [f"{n} IO" for n in names]
+    rows = []
+    for b in range(n_batches):
+        row: List[object] = [b + 1]
+        for name in names:
+            batches = results[name].batches
+            row.append(f"{batches[b].total_seconds(disk):.3f}"
+                       if b < len(batches) else "-")
+        for name in names:
+            batches = results[name].batches
+            row.append(batches[b].physical_io if b < len(batches) else "-")
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def render_load(title: str, results: Dict[str, RunResult],
+                disk: DiskModel) -> str:
+    """Initial bulk-load cost and resulting index size."""
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.load.physical_io,
+            f"{result.load.cpu_seconds:.2f}",
+            result.pages_used,
+        ])
+    return format_table(["index", "load IO", "load CPU s", "pages"],
+                        rows, title)

@@ -1,0 +1,210 @@
+"""Workload execution and per-operation cost measurement.
+
+Each index under test gets its own in-memory page file and buffer pool (as
+in the paper, where each index is a separate SHORE volume competing for a
+2048-page pool).  The runner replays a :class:`repro.workload.Workload`,
+snapshotting the pool's IO counters around every operation and timing its
+CPU with ``perf_counter``.  All work is in-memory, so wall time is CPU
+time; physical IOs are converted to simulated disk time by
+:class:`repro.storage.stats.DiskModel` at reporting time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.baselines.scan import ScanIndex
+from repro.core.quadtree import QuadTreeConfig
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.storage.stats import CostAccumulator, DiskModel, OperationCost
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTree, TPRTreeConfig
+from repro.workload.operations import InsertOp, QueryOp, UpdateOp, Workload
+
+DEFAULT_LIFETIME = 120.0   # 2 * UI: every object updates within one lifetime
+DEFAULT_HORIZON = 60.0     # TPR integration horizon H = UI
+
+
+@dataclass
+class IndexSetup:
+    """An index under test together with its private buffer pool."""
+
+    name: str
+    index: object            # insert/update/delete/query interface
+    pool: Optional[BufferPool]
+
+    def pages_in_use(self) -> int:
+        if isinstance(self.index, StripesIndex):
+            return self.index.pages_in_use()
+        if isinstance(self.index, TPRTree):
+            return self.index.store.pages_in_use()
+        return 0
+
+
+def make_stripes(workload: Workload, pool_pages: int,
+                 lifetime: float = DEFAULT_LIFETIME, float32: bool = False,
+                 quadtree: Optional[QuadTreeConfig] = None,
+                 name: str = "STRIPES") -> IndexSetup:
+    """A STRIPES index sized for ``workload`` over a fresh pool."""
+    pool = BufferPool(InMemoryPageFile(), capacity=pool_pages)
+    config = StripesConfig(
+        vmax=workload.vmax, pmax=workload.pmax, lifetime=lifetime,
+        float32=float32,
+        quadtree=quadtree if quadtree is not None else QuadTreeConfig())
+    return IndexSetup(name, StripesIndex(config, pool), pool)
+
+
+def _make_tpr(cls, workload: Workload, pool_pages: int, horizon: float,
+              float32: bool, name: str) -> IndexSetup:
+    pool = BufferPool(InMemoryPageFile(), capacity=pool_pages)
+    config = TPRTreeConfig(d=len(workload.pmax), horizon=horizon,
+                           float32=float32,
+                           delete_eps=1e-4 if float32 else 1e-7)
+    return IndexSetup(name, cls(config, RecordStore(pool)), pool)
+
+
+def make_tprstar(workload: Workload, pool_pages: int,
+                 horizon: float = DEFAULT_HORIZON, float32: bool = False,
+                 name: str = "TPR*") -> IndexSetup:
+    """A TPR*-tree sized for ``workload`` over a fresh pool."""
+    return _make_tpr(TPRStarTree, workload, pool_pages, horizon, float32,
+                     name)
+
+
+def make_tpr(workload: Workload, pool_pages: int,
+             horizon: float = DEFAULT_HORIZON, float32: bool = False,
+             name: str = "TPR") -> IndexSetup:
+    """A base TPR-tree (greedy insert, no forced reinsert)."""
+    return _make_tpr(TPRTree, workload, pool_pages, horizon, float32, name)
+
+
+def make_scan(workload: Workload, lifetime: float = DEFAULT_LIFETIME,
+              name: str = "SCAN") -> IndexSetup:
+    """The exact linear-scan baseline (no pool; zero IO by construction)."""
+    return IndexSetup(name, ScanIndex(lifetime), None)
+
+
+@dataclass
+class BatchCost:
+    """Aggregate cost of one batch of operations (Figure 9 granularity)."""
+
+    index: int
+    ops: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def physical_io(self) -> int:
+        return self.physical_reads + self.physical_writes
+
+    def total_seconds(self, disk: DiskModel) -> float:
+        return self.cpu_seconds + disk.seconds(self.physical_io)
+
+
+@dataclass
+class RunResult:
+    """Everything measured while replaying a workload against one index."""
+
+    name: str
+    load: CostAccumulator = field(default_factory=CostAccumulator)
+    updates: CostAccumulator = field(default_factory=CostAccumulator)
+    queries: CostAccumulator = field(default_factory=CostAccumulator)
+    batches: List[BatchCost] = field(default_factory=list)
+    query_hits: int = 0
+    pages_used: int = 0
+
+    @property
+    def ops(self) -> int:
+        return self.updates.count + self.queries.count
+
+    def total_cpu_seconds(self) -> float:
+        return self.updates.cpu_seconds + self.queries.cpu_seconds
+
+    def total_physical_io(self) -> int:
+        return self.updates.physical_io + self.queries.physical_io
+
+    def total_seconds(self, disk: DiskModel) -> float:
+        return self.total_cpu_seconds() + disk.seconds(
+            self.total_physical_io())
+
+
+def run_workload(setup: IndexSetup, workload: Workload,
+                 n_ops: Optional[int] = None,
+                 batch_size: Optional[int] = None,
+                 on_batch: Optional[Callable[[BatchCost], None]] = None
+                 ) -> RunResult:
+    """Load the initial objects, then replay (a prefix of) the operation
+    stream, measuring every operation.
+
+    ``batch_size`` groups operations into :class:`BatchCost` buckets (the
+    paper plots batches of 5K ops in Figure 9).  ``on_batch`` is invoked as
+    each batch completes.
+    """
+    index = setup.index
+    pool = setup.pool
+    result = RunResult(setup.name)
+
+    def measure() -> tuple:
+        if pool is None:
+            return (0, 0)
+        stats = pool.stats
+        return (stats.physical_reads, stats.physical_writes)
+
+    # Initial load (the paper loads all N objects before the op mix).
+    before = measure()
+    start = time.perf_counter()
+    for state in workload.initial:
+        index.insert(state)
+    elapsed = time.perf_counter() - start
+    after = measure()
+    result.load.add(OperationCost(after[0] - before[0],
+                                  after[1] - before[1], elapsed))
+
+    operations = workload.operations
+    if n_ops is not None:
+        operations = operations[:n_ops]
+    if batch_size is None:
+        batch_size = max(1, len(operations))
+
+    batch = BatchCost(index=0)
+    for op in operations:
+        before = measure()
+        start = time.perf_counter()
+        if isinstance(op, UpdateOp):
+            index.update(op.old, op.new)
+            kind = result.updates
+        elif isinstance(op, InsertOp):
+            index.insert(op.state)
+            kind = result.updates
+        elif isinstance(op, QueryOp):
+            hits = index.query(op.query)
+            result.query_hits += len(hits)
+            kind = result.queries
+        else:  # pragma: no cover - exhaustive over Operation
+            raise TypeError(f"unknown operation {type(op).__name__}")
+        elapsed = time.perf_counter() - start
+        after = measure()
+        cost = OperationCost(after[0] - before[0], after[1] - before[1],
+                             elapsed)
+        kind.add(cost)
+        batch.ops += 1
+        batch.physical_reads += cost.physical_reads
+        batch.physical_writes += cost.physical_writes
+        batch.cpu_seconds += cost.cpu_seconds
+        if batch.ops >= batch_size:
+            result.batches.append(batch)
+            if on_batch is not None:
+                on_batch(batch)
+            batch = BatchCost(index=len(result.batches))
+    if batch.ops:
+        result.batches.append(batch)
+        if on_batch is not None:
+            on_batch(batch)
+    result.pages_used = setup.pages_in_use()
+    return result

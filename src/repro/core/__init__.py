@@ -1,0 +1,21 @@
+"""STRIPES core: dual transform, dual-space query regions, the disk-based
+bucket PR quadtree, and the two-index STRIPES front end.
+
+Public entry point: :class:`repro.core.stripes.StripesIndex`.
+"""
+
+from repro.core.dual import DualSpace, DualPoint
+from repro.core.query_region import QueryRegion2D, RelPos
+from repro.core.quadtree import DualQuadTree, QuadTreeConfig
+from repro.core.stripes import StripesConfig, StripesIndex
+
+__all__ = [
+    "DualSpace",
+    "DualPoint",
+    "QueryRegion2D",
+    "RelPos",
+    "DualQuadTree",
+    "QuadTreeConfig",
+    "StripesConfig",
+    "StripesIndex",
+]

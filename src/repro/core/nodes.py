@@ -1,0 +1,226 @@
+"""STRIPES quadtree node layouts and their binary codec.
+
+Three record types live in the record store (Section 4.2):
+
+* **Non-leaf nodes** -- small records (the paper packs ~11 per 4 KB page):
+  level, grid lower corner, ``4^d`` child record ids, an is-leaf bitmask,
+  and the subtree entry count (``size``).
+* **Leaf nodes** -- *small* (half-page) or *large* (full-page) records
+  holding dual points.  A leaf carries an ``overflow`` record id used only
+  when a maximum-depth leaf must hold more entries than fit in one record
+  (e.g. many coincident points); ``-1`` otherwise.
+* **Leaf extensions** -- continuation records for such overflow chains.
+
+Side lengths are not stored: a node at level ``k`` spans
+``extent / 2**k`` per axis (the root is level 0), so the grid tuple
+``(V', P', SL^V, SL^P)`` of Section 4.2 is reconstructed from the corner
+and the level.
+
+All integers are little-endian; coordinates are 8-byte floats by default or
+4-byte floats in the paper-faithful ``float32`` layout.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.core.dual import DualPoint
+
+INVALID_RID = -1
+
+_TAG_NONLEAF = 0
+_TAG_LEAF = 1
+_TAG_EXTENSION = 2
+
+
+@dataclass
+class NonLeafNode:
+    """Interior quadtree node: fanout ``4^d`` children."""
+
+    level: int
+    v_corner: Tuple[float, ...]
+    p_corner: Tuple[float, ...]
+    children: List[int]            # record ids, INVALID_RID when absent
+    child_is_leaf: List[bool]
+    size: int                      # entries stored in the whole subtree
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def present_children(self) -> List[int]:
+        """Indices of existing children."""
+        return [i for i, rid in enumerate(self.children) if rid != INVALID_RID]
+
+
+@dataclass
+class LeafNode:
+    """Leaf bucket of dual points (plus an optional overflow chain)."""
+
+    level: int
+    v_corner: Tuple[float, ...]
+    p_corner: Tuple[float, ...]
+    entries: List[DualPoint] = field(default_factory=list)
+    overflow: int = INVALID_RID
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        """Entries in this record only (not the overflow chain)."""
+        return len(self.entries)
+
+
+@dataclass
+class LeafExtension:
+    """Continuation record of an overflowing maximum-depth leaf."""
+
+    entries: List[DualPoint] = field(default_factory=list)
+    overflow: int = INVALID_RID
+
+
+Node = Union[NonLeafNode, LeafNode, LeafExtension]
+
+
+class NodeCodec:
+    """Serialize/deserialize quadtree nodes for a given dimensionality and
+    coordinate width.  One codec instance serves one quadtree."""
+
+    def __init__(self, d: int, float32: bool = False):
+        if d < 1:
+            raise ValueError("dimensionality must be >= 1")
+        self.d = d
+        self.fanout = 4 ** d
+        self.float32 = float32
+        coord = "f" if float32 else "d"
+        self.coord_bytes = 4 if float32 else 8
+        # Non-leaf: tag, level, size, corners (2d coords), children
+        # (fanout i64), is-leaf bitmask.
+        self._isleaf_bytes = (self.fanout + 7) // 8
+        self._nonleaf = struct.Struct(
+            f"<BHI{2 * d}{coord}{self.fanout}q{self._isleaf_bytes}s")
+        # Leaf header: tag, level, count, overflow rid, corners.
+        self._leaf_header = struct.Struct(f"<BHHq{2 * d}{coord}")
+        # Extension header: tag, count, overflow rid.
+        self._ext_header = struct.Struct("<BHq")
+        self._entry = struct.Struct(f"<q{2 * d}{coord}")
+
+    # ------------------------------------------------------------------ #
+    # Sizes and capacities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nonleaf_record_size(self) -> int:
+        """Exact byte size of a serialized non-leaf node."""
+        return self._nonleaf.size
+
+    @property
+    def entry_size(self) -> int:
+        """Bytes per leaf entry (oid + 2d coordinates)."""
+        return self._entry.size
+
+    def leaf_capacity(self, record_size: int) -> int:
+        """Entries that fit in a leaf record of ``record_size`` bytes."""
+        usable = record_size - self._leaf_header.size
+        if usable < self.entry_size:
+            raise ValueError(
+                f"leaf record of {record_size} bytes cannot hold any entry")
+        return usable // self.entry_size
+
+    def extension_capacity(self, record_size: int) -> int:
+        """Entries that fit in an extension record."""
+        usable = record_size - self._ext_header.size
+        return usable // self.entry_size
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def serialize(self, node: Node) -> bytes:
+        if isinstance(node, NonLeafNode):
+            return self._serialize_nonleaf(node)
+        if isinstance(node, LeafNode):
+            return self._serialize_leaf(node)
+        if isinstance(node, LeafExtension):
+            return self._serialize_extension(node)
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+    def deserialize(self, raw: bytes) -> Node:
+        tag = raw[0]
+        if tag == _TAG_NONLEAF:
+            return self._deserialize_nonleaf(raw)
+        if tag == _TAG_LEAF:
+            return self._deserialize_leaf(raw)
+        if tag == _TAG_EXTENSION:
+            return self._deserialize_extension(raw)
+        raise ValueError(f"unknown node tag {tag}")
+
+    def _serialize_nonleaf(self, node: NonLeafNode) -> bytes:
+        if len(node.children) != self.fanout:
+            raise ValueError(
+                f"non-leaf has {len(node.children)} child slots, expected "
+                f"{self.fanout}")
+        mask = bytearray(self._isleaf_bytes)
+        for i, leaf_flag in enumerate(node.child_is_leaf):
+            if leaf_flag:
+                mask[i >> 3] |= 1 << (i & 7)
+        return self._nonleaf.pack(
+            _TAG_NONLEAF, node.level, node.size,
+            *node.v_corner, *node.p_corner,
+            *node.children, bytes(mask))
+
+    def _deserialize_nonleaf(self, raw: bytes) -> NonLeafNode:
+        parts = self._nonleaf.unpack(raw[: self._nonleaf.size])
+        _, level, size = parts[0], parts[1], parts[2]
+        offset = 3
+        v_corner = tuple(parts[offset: offset + self.d])
+        p_corner = tuple(parts[offset + self.d: offset + 2 * self.d])
+        offset += 2 * self.d
+        children = list(parts[offset: offset + self.fanout])
+        mask = parts[offset + self.fanout]
+        child_is_leaf = [bool(mask[i >> 3] & (1 << (i & 7)))
+                         for i in range(self.fanout)]
+        return NonLeafNode(level, v_corner, p_corner, children,
+                           child_is_leaf, size)
+
+    def _pack_entries(self, entries: List[DualPoint]) -> bytes:
+        return b"".join(
+            self._entry.pack(e.oid, *e.v, *e.p) for e in entries)
+
+    def _unpack_entries(self, raw: bytes, offset: int,
+                        count: int) -> List[DualPoint]:
+        d = self.d
+        end = offset + count * self._entry.size
+        return [
+            DualPoint(parts[0], parts[1: 1 + d], parts[1 + d: 1 + 2 * d])
+            for parts in self._entry.iter_unpack(raw[offset:end])
+        ]
+
+    def _serialize_leaf(self, node: LeafNode) -> bytes:
+        header = self._leaf_header.pack(
+            _TAG_LEAF, node.level, len(node.entries), node.overflow,
+            *node.v_corner, *node.p_corner)
+        return header + self._pack_entries(node.entries)
+
+    def _deserialize_leaf(self, raw: bytes) -> LeafNode:
+        parts = self._leaf_header.unpack(raw[: self._leaf_header.size])
+        _, level, count, overflow = parts[:4]
+        v_corner = tuple(parts[4: 4 + self.d])
+        p_corner = tuple(parts[4 + self.d: 4 + 2 * self.d])
+        entries = self._unpack_entries(raw, self._leaf_header.size, count)
+        return LeafNode(level, v_corner, p_corner, entries, overflow)
+
+    def _serialize_extension(self, node: LeafExtension) -> bytes:
+        header = self._ext_header.pack(
+            _TAG_EXTENSION, len(node.entries), node.overflow)
+        return header + self._pack_entries(node.entries)
+
+    def _deserialize_extension(self, raw: bytes) -> LeafExtension:
+        _, count, overflow = self._ext_header.unpack(
+            raw[: self._ext_header.size])
+        entries = self._unpack_entries(raw, self._ext_header.size, count)
+        return LeafExtension(entries, overflow)

@@ -1,0 +1,183 @@
+"""Checkpoint and reopen on-disk STRIPES indexes.
+
+The page file holds every node, but three pieces of state live only in
+memory: the index configuration, the per-window quadtree roots, and the
+record store's space map (which page holds which record size, and how
+full it is).  ``save_index`` flushes all dirty pages and writes that
+state as a JSON *metadata sidecar* next to the page file;
+``load_index`` reopens the pair::
+
+    index = StripesIndex(config, pool_over_on_disk_pagefile)
+    ... updates ...
+    save_index(index, "fleet.stripes.meta")
+
+    # later, in another process
+    index = load_index("fleet.stripes", "fleet.stripes.meta",
+                       pool_pages=256)
+
+The sidecar is versioned and validated against the page file on load
+(page size, page count); a mismatch raises rather than corrupting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.core.quadtree import DualQuadTree, QuadTreeConfig
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.journal import atomic_flush, recover
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import OnDiskPageFile
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: StripesIndex, meta_path: str | os.PathLike,
+               journal_path: Optional[str | os.PathLike] = None) -> None:
+    """Flush the index's pages and write its metadata sidecar.
+
+    With ``journal_path`` the flush is *atomic*: dirty pages are first
+    double-written to a committed journal (see
+    :mod:`repro.storage.journal`), so a crash mid-flush cannot tear the
+    checkpoint.  Pass the same path to :func:`load_index` so leftover
+    journals are replayed.
+    """
+    if journal_path is not None:
+        atomic_flush(index.pool, journal_path)
+    index.flush()
+    config = index.config
+    store = index.store
+    meta = {
+        "format": FORMAT_VERSION,
+        "page_size": index.pool.pagefile.page_size,
+        "capacity_pages": index.pool.pagefile.capacity_pages,
+        "config": {
+            "vmax": list(config.vmax),
+            "pmax": list(config.pmax),
+            "lifetime": config.lifetime,
+            "float32": config.float32,
+            "quadtree": {
+                "small_leaf_bytes": config.quadtree.small_leaf_bytes,
+                "large_leaf_bytes": config.quadtree.large_leaf_bytes,
+                "max_depth": config.quadtree.max_depth,
+                "collapse_capacity": config.quadtree.collapse_capacity,
+                "use_small_leaves": config.quadtree.use_small_leaves,
+                "quad_pruning": config.quadtree.quad_pruning,
+                "leaf_size_ladder":
+                    list(config.quadtree.leaf_size_ladder)
+                    if config.quadtree.leaf_size_ladder is not None
+                    else None,
+            },
+        },
+        "windows": [
+            {
+                "window": window,
+                "root_rid": tree._root_rid,
+                "root_is_leaf": tree._root_is_leaf,
+                "count": tree.count,
+            }
+            for window, tree in sorted(index._trees.items())
+        ],
+        # Space map: page id -> (record size, occupied slots).
+        "pages": [
+            [page_id, cls.record_size, occupied]
+            for page_id, (cls, occupied) in sorted(store._page_meta.items())
+        ],
+    }
+    tmp_path = os.fspath(meta_path) + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(meta, fh)
+    os.replace(tmp_path, meta_path)
+
+
+def load_index(pagefile_path: str | os.PathLike,
+               meta_path: str | os.PathLike,
+               pool_pages: int = DEFAULT_POOL_PAGES,
+               pool: Optional[BufferPool] = None,
+               journal_path: Optional[str | os.PathLike] = None
+               ) -> StripesIndex:
+    """Reopen a checkpointed index from its page file and sidecar.
+
+    When ``journal_path`` is given, a leftover committed checkpoint
+    journal (from a crash mid-flush) is replayed into the page file
+    before the index is attached.
+    """
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {meta.get('format')!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+    if pool is None:
+        pagefile = OnDiskPageFile(pagefile_path,
+                                  page_size=meta["page_size"])
+        pool = BufferPool(pagefile, capacity=pool_pages)
+    if journal_path is not None:
+        recover(pool.pagefile, journal_path)
+    if pool.pagefile.page_size != meta["page_size"]:
+        raise ValueError(
+            f"page size mismatch: checkpoint says {meta['page_size']}, "
+            f"page file has {pool.pagefile.page_size}")
+    if pool.pagefile.capacity_pages < meta["capacity_pages"]:
+        raise ValueError(
+            f"page file is truncated: checkpoint covers "
+            f"{meta['capacity_pages']} pages, file has "
+            f"{pool.pagefile.capacity_pages}")
+
+    quadtree_meta = meta["config"]["quadtree"]
+    ladder = quadtree_meta["leaf_size_ladder"]
+    config = StripesConfig(
+        vmax=tuple(meta["config"]["vmax"]),
+        pmax=tuple(meta["config"]["pmax"]),
+        lifetime=meta["config"]["lifetime"],
+        float32=meta["config"]["float32"],
+        quadtree=QuadTreeConfig(
+            small_leaf_bytes=quadtree_meta["small_leaf_bytes"],
+            large_leaf_bytes=quadtree_meta["large_leaf_bytes"],
+            max_depth=quadtree_meta["max_depth"],
+            collapse_capacity=quadtree_meta["collapse_capacity"],
+            use_small_leaves=quadtree_meta["use_small_leaves"],
+            quad_pruning=quadtree_meta["quad_pruning"],
+            leaf_size_ladder=tuple(ladder) if ladder is not None else None,
+        ),
+    )
+
+    index = StripesIndex.__new__(StripesIndex)
+    index.config = config
+    index.pool = pool
+    index.store = RecordStore(pool)
+    _restore_space_map(index.store, meta["pages"])
+    index._trees = {}
+    from repro.core.dual import DualSpace
+    for window_meta in meta["windows"]:
+        window = window_meta["window"]
+        space = DualSpace(config.vmax, config.pmax, config.lifetime,
+                          t_ref=window * config.lifetime,
+                          float32=config.float32)
+        tree = DualQuadTree(
+            space, index.store, config.quadtree,
+            root=(window_meta["root_rid"], window_meta["root_is_leaf"],
+                  window_meta["count"]))
+        index._trees[window] = tree
+    return index
+
+
+def _restore_space_map(store: RecordStore, pages) -> None:
+    """Rebuild the in-memory space map from the sidecar.
+
+    Pages absent from the map were free at checkpoint time; their ids are
+    re-registered with the page file's free list so they get reused.
+    """
+    live = set()
+    for page_id, record_size, occupied in pages:
+        cls = store.size_class(record_size)
+        store._page_meta[page_id] = (cls, occupied)
+        live.add(page_id)
+        if occupied < cls.num_slots:
+            store._add_space(record_size, page_id)
+    for page_id in range(store.pool.pagefile.capacity_pages):
+        if page_id not in live:
+            store.pool.pagefile.free(page_id)

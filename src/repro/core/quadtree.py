@@ -1,0 +1,729 @@
+"""Disk-based multi-dimensional bucket PR quadtree over the dual space.
+
+This is the index structure of Section 4: each of the ``d`` dual planes
+``(V_i, P_i)`` is split into four quads per level, giving non-leaf fanout
+``4^d`` (16 for the two-dimensional workloads of the evaluation).  The tree
+follows the paper's design decisions:
+
+* **Insert** (Section 4.3) descends a single root-to-leaf path using the
+  Eq. 1 child-index computation; missing target leaves are created lazily
+  (case 1), non-full leaves absorb the entry (case 2), and full leaves are
+  promoted or split (case 3).
+* **Two leaf sizes** (Section 5.1): leaves are born *small* (half a page)
+  and are promoted to *large* (a full page) on their first overflow, which
+  roughly doubles leaf page occupancy.  A split of a large leaf converts it
+  to a non-leaf and redistributes entries into fresh small leaves; empty
+  children are simply not materialised.
+* **Delete** (Section 4.4) checks non-leaf nodes for under-fill on the way
+  down; an under-filled subtree is collapsed back into a single leaf.
+* **Search** (Section 4.6.4) classifies each plane's four quads against the
+  plane's query region once per node (the 25 %-pruning optimisation) and
+  combines the per-plane results per child: any-DISJUNCT prunes, all-INSIDE
+  reports the whole subtree without further geometry tests, otherwise the
+  child is probed recursively (leaves filter entries exactly).
+
+Leaves at the maximum depth may exceed capacity (coincident points); they
+spill into overflow extension records rather than splitting forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dual import DualPoint, DualSpace
+from repro.core.nodes import (
+    INVALID_RID,
+    LeafExtension,
+    LeafNode,
+    Node,
+    NodeCodec,
+    NonLeafNode,
+)
+from repro.core.query_region import QueryRegion2D, RelPos
+from repro.storage.node_store import NodeCache, RecordStore
+
+
+@dataclass(frozen=True)
+class QuadTreeConfig:
+    """Tuning knobs for the quadtree.
+
+    ``small_leaf_bytes``/``large_leaf_bytes`` default to half a page and a
+    full page (minus the record-store header).  ``collapse_capacity`` is
+    the under-fill threshold of Section 4.4 and defaults to the large-leaf
+    capacity.  ``use_small_leaves=False`` disables the two-size scheme
+    (ablation A1: every leaf is born large).  ``quad_pruning=False``
+    disables the shared per-plane quad classification of Section 4.6.4
+    (ablation A2) -- results are identical, only more CPU is spent.
+
+    ``leaf_size_ladder`` generalises the two-size scheme to the paper's
+    stated future work ("extending our current implementation to use more
+    than two leaf node sizes"): a strictly increasing tuple of record
+    sizes in bytes.  Leaves are born at the smallest size and promoted up
+    the ladder on overflow; only a leaf at the largest size splits.  When
+    set, it overrides ``small_leaf_bytes``/``large_leaf_bytes`` and
+    ``use_small_leaves``.
+    """
+
+    small_leaf_bytes: Optional[int] = None
+    large_leaf_bytes: Optional[int] = None
+    max_depth: int = 20
+    collapse_capacity: Optional[int] = None
+    use_small_leaves: bool = True
+    quad_pruning: bool = True
+    leaf_size_ladder: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.leaf_size_ladder is not None:
+            if len(self.leaf_size_ladder) < 1:
+                raise ValueError("leaf_size_ladder must not be empty")
+            sizes = self.leaf_size_ladder
+            if any(a >= b for a, b in zip(sizes, sizes[1:])):
+                raise ValueError(
+                    f"leaf_size_ladder must be strictly increasing, got "
+                    f"{sizes}")
+
+
+@dataclass
+class QuadTreeStats:
+    """Structural statistics (used by the Section 5.1 reproduction).
+
+    ``small_leaves``/``mid_leaves``/``large_leaves`` classify leaves by
+    their position on the size ladder (bottom / interior / top);
+    ``leaves_by_size`` gives the exact per-record-size histogram.
+    """
+
+    entries: int = 0
+    nonleaf_nodes: int = 0
+    small_leaves: int = 0
+    mid_leaves: int = 0
+    large_leaves: int = 0
+    extension_records: int = 0
+    height: int = 0
+    leaf_slots: int = 0
+    leaves_by_size: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def leaf_nodes(self) -> int:
+        return self.small_leaves + self.mid_leaves + self.large_leaves
+
+    @property
+    def leaf_occupancy(self) -> float:
+        """Fraction of leaf entry slots in use (0.0 for an empty tree)."""
+        return self.entries / self.leaf_slots if self.leaf_slots else 0.0
+
+
+class DualQuadTree:
+    """One sub-index: a bucket PR quadtree over one dual space."""
+
+    def __init__(self, space: DualSpace, store: RecordStore,
+                 config: QuadTreeConfig = QuadTreeConfig(),
+                 root: Optional[Tuple[int, bool, int]] = None):
+        """``root`` attaches to an existing persisted tree instead of
+        creating a fresh empty one: a ``(root_rid, root_is_leaf, count)``
+        triple, used by :mod:`repro.core.persistence`."""
+        self.space = space
+        self.store = store
+        self.config = config
+        self.codec = NodeCodec(space.d, space.float32)
+
+        page_size = store.pool.pagefile.page_size
+        if config.leaf_size_ladder is not None:
+            self.leaf_ladder = list(config.leaf_size_ladder)
+        else:
+            # A full-page record: one slot per page (header 4 B + 1-bit
+            # bitmap); the default small record packs two per page.
+            large = (config.large_leaf_bytes
+                     if config.large_leaf_bytes is not None
+                     else page_size - 5)
+            small = (config.small_leaf_bytes
+                     if config.small_leaf_bytes is not None
+                     else (page_size - 6) // 2)
+            if small > large:
+                raise ValueError(
+                    "small leaf records cannot exceed large ones")
+            self.leaf_ladder = ([large] if not config.use_small_leaves
+                                or small == large else [small, large])
+        self.small_bytes = self.leaf_ladder[0]
+        self.large_bytes = self.leaf_ladder[-1]
+        self.leaf_capacities = [self.codec.leaf_capacity(size)
+                                for size in self.leaf_ladder]
+        if any(a >= b for a, b in zip(self.leaf_capacities,
+                                      self.leaf_capacities[1:])):
+            # Equal-capacity rungs would leave an over-full non-top leaf
+            # with no rung to promote into (the overflow-chain path is
+            # reserved for maximum-depth top-rung leaves).
+            raise ValueError(
+                f"leaf size ladder {self.leaf_ladder} must yield strictly "
+                f"increasing capacities, got {self.leaf_capacities}")
+        self._ladder_index = {size: i
+                              for i, size in enumerate(self.leaf_ladder)}
+        self.small_capacity = self.leaf_capacities[0]
+        self.large_capacity = self.leaf_capacities[-1]
+        self.ext_capacity = self.codec.extension_capacity(self.large_bytes)
+        self.collapse_capacity = (config.collapse_capacity
+                                  if config.collapse_capacity is not None
+                                  else self.large_capacity)
+        self.cache: NodeCache[Node] = NodeCache(
+            store, self.codec.serialize, self.codec.deserialize)
+
+        # Plain attributes (not properties): these sit on query hot paths.
+        self.d = space.d
+        self.fanout = self.codec.fanout
+        if root is None:
+            self.count = 0
+            self._root_rid = self.cache.insert(
+                self.small_bytes,
+                self._new_leaf(0, self._origin(), self._origin()))
+            self._root_is_leaf = True
+        else:
+            self._root_rid, self._root_is_leaf, self.count = root
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+
+    def _origin(self) -> Tuple[float, ...]:
+        return (0.0,) * self.d
+
+    def _child_sides(self, level: int) -> Tuple[Tuple[float, ...],
+                                                Tuple[float, ...]]:
+        """Side lengths of a node at ``level`` (root is level 0)."""
+        scale = 1.0 / (1 << level)
+        sl_v = tuple(e * scale for e in self.space.velocity_extent)
+        sl_p = tuple(e * scale for e in self.space.position_extent)
+        return sl_v, sl_p
+
+    def _child_index(self, node: NonLeafNode, point: DualPoint) -> int:
+        """Eq. 1: index of the child quad containing ``point``."""
+        sl_v, sl_p = self._child_sides(node.level + 1)
+        idx = 0
+        for i in range(self.d):
+            v_hi = 1 if point.v[i] >= node.v_corner[i] + sl_v[i] else 0
+            p_hi = 1 if point.p[i] >= node.p_corner[i] + sl_p[i] else 0
+            idx |= ((p_hi << 1) | v_hi) << (2 * i)
+        return idx
+
+    def _child_corner(self, node: NonLeafNode,
+                      idx: int) -> Tuple[Tuple[float, ...],
+                                         Tuple[float, ...]]:
+        sl_v, sl_p = self._child_sides(node.level + 1)
+        v_corner = []
+        p_corner = []
+        for i in range(self.d):
+            code = (idx >> (2 * i)) & 3
+            v_corner.append(node.v_corner[i] + (code & 1) * sl_v[i])
+            p_corner.append(node.p_corner[i] + ((code >> 1) & 1) * sl_p[i])
+        return tuple(v_corner), tuple(p_corner)
+
+    @staticmethod
+    def _new_leaf(level: int, v_corner: Tuple[float, ...],
+                  p_corner: Tuple[float, ...],
+                  entries: Optional[List[DualPoint]] = None) -> LeafNode:
+        return LeafNode(level, v_corner, p_corner,
+                        entries if entries is not None else [])
+
+    # ------------------------------------------------------------------ #
+    # Insert (Section 4.3)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, point: DualPoint) -> None:
+        """Insert a dual point (single root-to-leaf path)."""
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            self._root_rid, self._root_is_leaf = self._leaf_insert(
+                self._root_rid, leaf, point)
+            self.count += 1
+            return
+        rid = self._root_rid
+        while True:
+            node = self.cache.get(rid)
+            node.size += 1
+            idx = self._child_index(node, point)
+            child_rid = node.children[idx]
+            if child_rid == INVALID_RID:
+                # Case 1: target leaf does not exist yet.
+                v_corner, p_corner = self._child_corner(node, idx)
+                leaf = self._new_leaf(node.level + 1, v_corner, p_corner,
+                                      [point])
+                node.children[idx] = self.cache.insert(self.small_bytes, leaf)
+                node.child_is_leaf[idx] = True
+                self.cache.update(rid, node)
+                self.count += 1
+                return
+            if node.child_is_leaf[idx]:
+                leaf = self.cache.get(child_rid)
+                new_rid, is_leaf = self._leaf_insert(child_rid, leaf, point)
+                node.children[idx] = new_rid
+                node.child_is_leaf[idx] = is_leaf
+                self.cache.update(rid, node)
+                self.count += 1
+                return
+            self.cache.update(rid, node)
+            rid = child_rid
+
+    def _leaf_insert(self, rid: int, leaf: LeafNode,
+                     point: DualPoint) -> Tuple[int, bool]:
+        """Cases 2/3: insert into an existing leaf.  Returns the (possibly
+        new) record id and is-leaf flag the parent should point at."""
+        ladder_idx = self._ladder_index[self.store.record_size_of(rid)]
+        if leaf.overflow == INVALID_RID:
+            if len(leaf.entries) < self.leaf_capacities[ladder_idx]:
+                # Case 2: room available.
+                leaf.entries.append(point)
+                self.cache.update(rid, leaf)
+                return rid, True
+        entries = self._leaf_all_entries(leaf)
+        entries.append(point)
+        if ladder_idx + 1 < len(self.leaf_ladder):
+            # Overflow of a non-top leaf: promote it up the size ladder.
+            for next_idx in range(ladder_idx + 1, len(self.leaf_ladder)):
+                if len(entries) <= self.leaf_capacities[next_idx]:
+                    promoted = self._new_leaf(leaf.level, leaf.v_corner,
+                                              leaf.p_corner, entries)
+                    new_rid = self.cache.insert(
+                        self.leaf_ladder[next_idx], promoted)
+                    self.cache.free(rid)
+                    return new_rid, True
+        if leaf.level >= self.config.max_depth:
+            # Cannot split further: spill into an overflow chain.
+            self._write_leaf_chain(rid, leaf, entries)
+            return rid, True
+        # Case 3: split -- the leaf becomes a non-leaf subtree.
+        new_rid, is_leaf = self._build_subtree(
+            leaf.level, leaf.v_corner, leaf.p_corner, entries)
+        self._free_leaf_chain(rid, leaf)
+        return new_rid, is_leaf
+
+    def _build_subtree(self, level: int, v_corner: Tuple[float, ...],
+                       p_corner: Tuple[float, ...],
+                       entries: List[DualPoint]) -> Tuple[int, bool]:
+        """Materialise a subtree for ``entries`` (used by splits and
+        under-fill collapses).  Only non-empty children are created."""
+        n = len(entries)
+        for idx, capacity in enumerate(self.leaf_capacities):
+            if n <= capacity:
+                leaf = self._new_leaf(level, v_corner, p_corner, entries)
+                return self.cache.insert(self.leaf_ladder[idx], leaf), True
+        if level >= self.config.max_depth:
+            leaf = self._new_leaf(level, v_corner, p_corner, [])
+            rid = self.cache.insert(self.large_bytes, leaf)
+            self._write_leaf_chain(rid, leaf, entries)
+            return rid, True
+        node = NonLeafNode(level, v_corner, p_corner,
+                           [INVALID_RID] * self.fanout,
+                           [False] * self.fanout, n)
+        groups: Dict[int, List[DualPoint]] = {}
+        for entry in entries:
+            groups.setdefault(self._child_index(node, entry), []).append(entry)
+        for idx, group in groups.items():
+            cv, cp = self._child_corner(node, idx)
+            child_rid, child_leaf = self._build_subtree(
+                level + 1, cv, cp, group)
+            node.children[idx] = child_rid
+            node.child_is_leaf[idx] = child_leaf
+        return self.cache.insert(self.codec.nonleaf_record_size, node), False
+
+    def bulk_load(self, points: List[DualPoint]) -> None:
+        """Replace the tree's contents with ``points``, built bottom-up in
+        one recursive pass (used by :meth:`StripesIndex.bulk_load`)."""
+        if self.count:
+            raise RuntimeError("bulk_load requires an empty tree")
+        if not points:
+            return
+        self._free_subtree(self._root_rid, self._root_is_leaf)
+        self._root_rid, self._root_is_leaf = self._build_subtree(
+            0, self._origin(), self._origin(), list(points))
+        self.count = len(points)
+
+    # ------------------------------------------------------------------ #
+    # Overflow chains (maximum-depth leaves only)
+    # ------------------------------------------------------------------ #
+
+    def _leaf_all_entries(self, leaf: LeafNode) -> List[DualPoint]:
+        """Entries of the leaf including any overflow extensions."""
+        if leaf.overflow == INVALID_RID:
+            return list(leaf.entries)
+        entries = list(leaf.entries)
+        rid = leaf.overflow
+        while rid != INVALID_RID:
+            ext = self.cache.get(rid)
+            entries.extend(ext.entries)
+            rid = ext.overflow
+        return entries
+
+    def _write_leaf_chain(self, rid: int, leaf: LeafNode,
+                          entries: List[DualPoint]) -> None:
+        """Rewrite the leaf and its overflow chain to hold ``entries``."""
+        old = leaf.overflow
+        while old != INVALID_RID:
+            ext = self.cache.get(old)
+            nxt = ext.overflow
+            self.cache.free(old)
+            old = nxt
+        leaf.entries = entries[: self.large_capacity]
+        rest = entries[self.large_capacity:]
+        head = INVALID_RID
+        for start in range(
+                (len(rest) // self.ext_capacity) * self.ext_capacity,
+                -1, -self.ext_capacity):
+            chunk = rest[start: start + self.ext_capacity]
+            if not chunk:
+                continue
+            head = self.cache.insert(self.large_bytes,
+                                     LeafExtension(chunk, head))
+        leaf.overflow = head
+        self.cache.update(rid, leaf)
+
+    def _free_leaf_chain(self, rid: int, leaf: LeafNode) -> None:
+        ext_rid = leaf.overflow
+        while ext_rid != INVALID_RID:
+            ext = self.cache.get(ext_rid)
+            nxt = ext.overflow
+            self.cache.free(ext_rid)
+            ext_rid = nxt
+        self.cache.free(rid)
+
+    # ------------------------------------------------------------------ #
+    # Delete (Section 4.4)
+    # ------------------------------------------------------------------ #
+
+    def delete(self, point: DualPoint) -> bool:
+        """Remove the entry matching ``point`` (oid and coordinates).
+
+        Returns False (leaving the tree unchanged, modulo legal under-fill
+        collapses) when no such entry exists -- the caller then treats the
+        update as an insert of a new object (Section 4.4).
+        """
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            return self._leaf_delete(self._root_rid, leaf, point)
+        decremented: List[int] = []
+        parent_rid = INVALID_RID
+        parent_idx = -1
+        rid = self._root_rid
+        while True:
+            node = self.cache.get(rid)
+            if node.size - 1 <= self.collapse_capacity:
+                # Case 2: under-filled non-leaf -- collapse to a leaf.
+                return self._collapse_and_delete(
+                    rid, node, parent_rid, parent_idx, point, decremented)
+            idx = self._child_index(node, point)
+            child_rid = node.children[idx]
+            if child_rid == INVALID_RID:
+                self._rollback(decremented)
+                return False
+            node.size -= 1
+            self.cache.update(rid, node)
+            decremented.append(rid)
+            if node.child_is_leaf[idx]:
+                leaf = self.cache.get(child_rid)
+                if self._leaf_delete(child_rid, leaf, point):
+                    return True
+                self._rollback(decremented)
+                return False
+            parent_rid, parent_idx = rid, idx
+            rid = child_rid
+
+    def _leaf_delete(self, rid: int, leaf: LeafNode,
+                     point: DualPoint) -> bool:
+        entries = self._leaf_all_entries(leaf)
+        pos = self._find_entry(entries, point)
+        if pos is None:
+            return False
+        entries.pop(pos)
+        if leaf.overflow != INVALID_RID:
+            self._write_leaf_chain(rid, leaf, entries)
+        else:
+            leaf.entries = entries
+            self.cache.update(rid, leaf)
+        self.count -= 1
+        return True
+
+    def _collapse_and_delete(self, rid: int, node: NonLeafNode,
+                             parent_rid: int, parent_idx: int,
+                             point: DualPoint,
+                             decremented: List[int]) -> bool:
+        entries = self._subtree_entries(rid, is_leaf=False)
+        pos = self._find_entry(entries, point)
+        if pos is None:
+            self._rollback(decremented)
+            return False
+        entries.pop(pos)
+        self._free_subtree(rid, is_leaf=False)
+        # With the default threshold (one leaf's capacity) the rebuild is
+        # always a single leaf; a larger configured threshold can rebuild
+        # a (smaller) subtree instead.
+        new_rid, new_is_leaf = self._build_subtree(
+            node.level, node.v_corner, node.p_corner, entries)
+        if parent_rid == INVALID_RID:
+            self._root_rid = new_rid
+            self._root_is_leaf = new_is_leaf
+        else:
+            parent = self.cache.get(parent_rid)
+            parent.children[parent_idx] = new_rid
+            parent.child_is_leaf[parent_idx] = new_is_leaf
+            self.cache.update(parent_rid, parent)
+        self.count -= 1
+        return True
+
+    @staticmethod
+    def _find_entry(entries: List[DualPoint],
+                    point: DualPoint) -> Optional[int]:
+        for i, entry in enumerate(entries):
+            if (entry.oid == point.oid and entry.v == point.v
+                    and entry.p == point.p):
+                return i
+        # Fall back to oid-only matching: coordinates recomputed from stale
+        # caller state can drift by rounding, but an oid appears in exactly
+        # one leaf of a sub-index under the one-entry-per-object discipline.
+        for i, entry in enumerate(entries):
+            if entry.oid == point.oid:
+                return i
+        return None
+
+    def _rollback(self, decremented: List[int]) -> None:
+        for rid in decremented:
+            node = self.cache.get(rid)
+            node.size += 1
+            self.cache.update(rid, node)
+
+    # ------------------------------------------------------------------ #
+    # Search (Section 4.6.4)
+    # ------------------------------------------------------------------ #
+
+    def search(self, regions: Tuple[QueryRegion2D, ...]) -> List[DualPoint]:
+        """Entries inside the query body given one region per dual plane.
+
+        Per-plane region membership is exact per dimension but -- for
+        window/moving queries in d >= 2 -- only *necessary* for a true
+        match (each dimension may satisfy the query at a different time).
+        Callers needing exact answers refine the returned candidates with
+        the native-space predicate; :class:`repro.core.stripes.StripesIndex`
+        does this by default.
+        """
+        if len(regions) != self.d:
+            raise ValueError(
+                f"expected {self.d} query regions, got {len(regions)}")
+        results: List[DualPoint] = []
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            self._filter_leaf(leaf, regions, results)
+        else:
+            self._search_nonleaf(self._root_rid, regions, results)
+        return results
+
+    def _point_matches(self, entry: DualPoint,
+                       regions: Tuple[QueryRegion2D, ...]) -> bool:
+        return all(regions[i].contains_point(entry.v[i], entry.p[i])
+                   for i in range(self.d))
+
+    def _filter_leaf(self, leaf: LeafNode,
+                     regions: Tuple[QueryRegion2D, ...],
+                     results: List[DualPoint]) -> None:
+        entries = self._leaf_all_entries(leaf)
+        if self.d == 2:
+            # Hand-unrolled two-dimensional path: this loop runs once per
+            # candidate entry and dominates query CPU time.
+            r0, r1 = regions
+            append = results.append
+            for entry in entries:
+                v = entry.v
+                p = entry.p
+                if (r0.contains_point(v[0], p[0])
+                        and r1.contains_point(v[1], p[1])):
+                    append(entry)
+            return
+        for entry in entries:
+            if self._point_matches(entry, regions):
+                results.append(entry)
+
+    def _search_nonleaf(self, rid: int, regions: Tuple[QueryRegion2D, ...],
+                        results: List[DualPoint]) -> None:
+        node = self.cache.get(rid)
+        sl_v, sl_p = self._child_sides(node.level + 1)
+        if self.config.quad_pruning:
+            # Classify each plane's four quads once (Section 4.6.4); each
+            # child then just combines its per-plane codes.
+            plane_rel = []
+            for i in range(self.d):
+                quads = []
+                for code in range(4):
+                    v1 = node.v_corner[i] + (code & 1) * sl_v[i]
+                    p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
+                    quads.append(regions[i].classify_rect(
+                        v1, v1 + sl_v[i], p1, p1 + sl_p[i]))
+                plane_rel.append(quads)
+        for idx in range(self.fanout):
+            child_rid = node.children[idx]
+            if child_rid == INVALID_RID:
+                continue
+            disjunct = False
+            all_inside = True
+            for i in range(self.d):
+                code = (idx >> (2 * i)) & 3
+                if self.config.quad_pruning:
+                    rel = plane_rel[i][code]
+                else:
+                    v1 = node.v_corner[i] + (code & 1) * sl_v[i]
+                    p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
+                    rel = regions[i].classify_rect(
+                        v1, v1 + sl_v[i], p1, p1 + sl_p[i])
+                if rel is RelPos.DISJUNCT:
+                    disjunct = True
+                    break
+                if rel is not RelPos.INSIDE:
+                    all_inside = False
+            if disjunct:
+                continue
+            if all_inside:
+                self._report_subtree(child_rid, node.child_is_leaf[idx],
+                                     results)
+            elif node.child_is_leaf[idx]:
+                leaf = self.cache.get(child_rid)
+                self._filter_leaf(leaf, regions, results)
+            else:
+                self._search_nonleaf(child_rid, regions, results)
+
+    def count_in_regions(self, regions: Tuple[QueryRegion2D, ...]) -> int:
+        """Number of entries inside the query body.
+
+        Unlike :meth:`search`, subtrees classified INSIDE contribute their
+        stored ``size`` counter (Section 4.2) without reading a single
+        leaf page -- the aggregate-query payoff of keeping sizes in
+        non-leaf nodes.  Exact for time-slice query regions; for
+        window/moving queries the result counts region candidates (a
+        superset of true matches, see :meth:`search`).
+        """
+        if len(regions) != self.d:
+            raise ValueError(
+                f"expected {self.d} query regions, got {len(regions)}")
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            return sum(1 for e in self._leaf_all_entries(leaf)
+                       if self._point_matches(e, regions))
+        return self._count_nonleaf(self._root_rid, regions)
+
+    def _count_nonleaf(self, rid: int,
+                       regions: Tuple[QueryRegion2D, ...]) -> int:
+        node = self.cache.get(rid)
+        sl_v, sl_p = self._child_sides(node.level + 1)
+        plane_rel = []
+        for i in range(self.d):
+            quads = []
+            for code in range(4):
+                v1 = node.v_corner[i] + (code & 1) * sl_v[i]
+                p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
+                quads.append(regions[i].classify_rect(
+                    v1, v1 + sl_v[i], p1, p1 + sl_p[i]))
+            plane_rel.append(quads)
+        total = 0
+        for idx in range(self.fanout):
+            child_rid = node.children[idx]
+            if child_rid == INVALID_RID:
+                continue
+            disjunct = False
+            all_inside = True
+            for i in range(self.d):
+                rel = plane_rel[i][(idx >> (2 * i)) & 3]
+                if rel is RelPos.DISJUNCT:
+                    disjunct = True
+                    break
+                if rel is not RelPos.INSIDE:
+                    all_inside = False
+            if disjunct:
+                continue
+            if node.child_is_leaf[idx]:
+                leaf = self.cache.get(child_rid)
+                entries = self._leaf_all_entries(leaf)
+                if all_inside:
+                    total += len(entries)
+                else:
+                    total += sum(1 for e in entries
+                                 if self._point_matches(e, regions))
+            elif all_inside:
+                # The stored subtree size: no leaf pages are read.
+                total += self.cache.get(child_rid).size
+            else:
+                total += self._count_nonleaf(child_rid, regions)
+        return total
+
+    def _report_subtree(self, rid: int, is_leaf: bool,
+                        results: List[DualPoint]) -> None:
+        if is_leaf:
+            leaf = self.cache.get(rid)
+            results.extend(self._leaf_all_entries(leaf))
+            return
+        node = self.cache.get(rid)
+        for idx in node.present_children():
+            self._report_subtree(node.children[idx], node.child_is_leaf[idx],
+                                 results)
+
+    # ------------------------------------------------------------------ #
+    # Bulk access, teardown, statistics
+    # ------------------------------------------------------------------ #
+
+    def all_entries(self) -> List[DualPoint]:
+        """Every stored dual point (test and collapse helper)."""
+        return self._subtree_entries(self._root_rid, self._root_is_leaf)
+
+    def _subtree_entries(self, rid: int, is_leaf: bool) -> List[DualPoint]:
+        if is_leaf:
+            return self._leaf_all_entries(self.cache.get(rid))
+        node = self.cache.get(rid)
+        entries: List[DualPoint] = []
+        for idx in node.present_children():
+            entries.extend(self._subtree_entries(node.children[idx],
+                                                 node.child_is_leaf[idx]))
+        return entries
+
+    def _free_subtree(self, rid: int, is_leaf: bool) -> None:
+        if is_leaf:
+            leaf = self.cache.get(rid)
+            self._free_leaf_chain(rid, leaf)
+            return
+        node = self.cache.get(rid)
+        for idx in node.present_children():
+            self._free_subtree(node.children[idx], node.child_is_leaf[idx])
+        self.cache.free(rid)
+
+    def destroy(self) -> None:
+        """Free every record of this tree (used at index rotation)."""
+        self._free_subtree(self._root_rid, self._root_is_leaf)
+        self._root_rid = INVALID_RID
+        self.count = 0
+
+    def stats(self) -> QuadTreeStats:
+        """Walk the tree and collect structural statistics."""
+        stats = QuadTreeStats(entries=self.count)
+        if self._root_rid == INVALID_RID:
+            return stats
+        self._collect_stats(self._root_rid, self._root_is_leaf, 0, stats)
+        return stats
+
+    def _collect_stats(self, rid: int, is_leaf: bool, depth: int,
+                       stats: QuadTreeStats) -> None:
+        stats.height = max(stats.height, depth + 1)
+        if is_leaf:
+            size = self.store.record_size_of(rid)
+            ladder_idx = self._ladder_index[size]
+            stats.leaves_by_size[size] = stats.leaves_by_size.get(size, 0) + 1
+            stats.leaf_slots += self.leaf_capacities[ladder_idx]
+            if ladder_idx == len(self.leaf_ladder) - 1:
+                stats.large_leaves += 1
+            elif ladder_idx == 0:
+                stats.small_leaves += 1
+            else:
+                stats.mid_leaves += 1
+            leaf = self.cache.get(rid)
+            ext_rid = leaf.overflow
+            while ext_rid != INVALID_RID:
+                stats.extension_records += 1
+                stats.leaf_slots += self.ext_capacity
+                ext_rid = self.cache.get(ext_rid).overflow
+            return
+        stats.nonleaf_nodes += 1
+        node = self.cache.get(rid)
+        for idx in node.present_children():
+            self._collect_stats(node.children[idx], node.child_is_leaf[idx],
+                                depth + 1, stats)

@@ -1,0 +1,293 @@
+"""The STRIPES index: a two-index, dual-transformed quadtree front end.
+
+:class:`StripesIndex` is the public face of the reproduction's core
+contribution.  It implements the full protocol of Section 4:
+
+* updates are routed by timestamp to one of two rotating sub-indexes with
+  reference times ``k*L`` and ``(k+1)*L`` (Section 4.1) -- when updates
+  reach a new lifetime window, the stale sub-index is destroyed and its
+  pages recycled;
+* an update is a delete of the old entry followed by an insert of the new
+  one (Section 4.5); if the old entry has already expired with its
+  sub-index, the update degenerates to a plain insert (Section 4.4);
+* queries are evaluated against every live sub-index and the result sets
+  are concatenated (each object lives in exactly one sub-index).
+
+Example::
+
+    from repro import StripesConfig, StripesIndex, MovingObjectState
+    from repro.query import TimeSliceQuery
+
+    index = StripesIndex(StripesConfig(vmax=(3.0, 3.0),
+                                       pmax=(1000.0, 1000.0),
+                                       lifetime=120.0))
+    index.insert(MovingObjectState(1, pos=(10.0, 20.0),
+                                   vel=(1.0, -0.5), t=0.0))
+    hits = index.query(TimeSliceQuery((0.0, 0.0), (50.0, 50.0), t=30.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.dual import DualSpace
+from repro.core.quadtree import DualQuadTree, QuadTreeConfig, QuadTreeStats
+from repro.core.query_region import build_query_regions
+from repro.query.predicates import MovingQueryEvaluator
+from repro.query.types import MovingObjectState, PredictiveQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+
+
+@dataclass(frozen=True)
+class StripesConfig:
+    """Space bounds and index parameters (Table 1).
+
+    ``vmax``/``pmax`` bound the native space per dimension, ``lifetime`` is
+    the index lifetime ``L``.  ``float32`` selects the paper's 4-byte
+    coordinate layout.  ``quadtree`` tunes the underlying PR quadtree.
+    """
+
+    vmax: Tuple[float, ...]
+    pmax: Tuple[float, ...]
+    lifetime: float
+    float32: bool = False
+    quadtree: QuadTreeConfig = field(default_factory=QuadTreeConfig)
+
+    @property
+    def d(self) -> int:
+        return len(self.vmax)
+
+
+class StripesIndex:
+    """Scalable Trajectory Index for Predicted Positions (Section 4)."""
+
+    def __init__(self, config: StripesConfig,
+                 pool: Optional[BufferPool] = None):
+        """``pool`` defaults to an in-memory page file behind a
+        paper-default buffer pool; pass a pool over an
+        :class:`repro.storage.pagefile.OnDiskPageFile` for persistence."""
+        self.config = config
+        if pool is None:
+            pool = BufferPool(InMemoryPageFile())
+        self.pool = pool
+        self.store = RecordStore(pool)
+        # Lifetime-window number -> sub-index.
+        self._trees: Dict[int, DualQuadTree] = {}
+
+    # ------------------------------------------------------------------ #
+    # Window management (Section 4.1)
+    # ------------------------------------------------------------------ #
+
+    def _window(self, t: float) -> int:
+        if t < 0:
+            raise ValueError(f"timestamps must be non-negative, got {t}")
+        return int(t // self.config.lifetime)
+
+    def _tree_for_window(self, window: int,
+                         create: bool) -> Optional[DualQuadTree]:
+        tree = self._trees.get(window)
+        if tree is not None or not create:
+            return tree
+        space = DualSpace(self.config.vmax, self.config.pmax,
+                          self.config.lifetime,
+                          t_ref=window * self.config.lifetime,
+                          float32=self.config.float32)
+        tree = DualQuadTree(space, self.store, self.config.quadtree)
+        self._trees[window] = tree
+        self._retire_expired(newest=max(self._trees))
+        return tree
+
+    def _retire_expired(self, newest: int) -> None:
+        """Keep only the two newest lifetime windows; entries in older
+        windows have exceeded their lifetime and are dropped wholesale."""
+        for window in [w for w in self._trees if w < newest - 1]:
+            self._trees.pop(window).destroy()
+
+    @property
+    def live_windows(self) -> List[int]:
+        """Currently live lifetime-window numbers (at most two)."""
+        return sorted(self._trees)
+
+    def __len__(self) -> int:
+        """Number of live (non-expired) entries."""
+        return sum(tree.count for tree in self._trees.values())
+
+    # ------------------------------------------------------------------ #
+    # Updates (Sections 4.3-4.5)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, obj: MovingObjectState) -> None:
+        """Insert a new predicted trajectory."""
+        if obj.d != self.config.d:
+            raise ValueError(
+                f"object is {obj.d}-d but the index is {self.config.d}-d")
+        tree = self._tree_for_window(self._window(obj.t), create=True)
+        tree.insert(tree.space.to_dual(obj))
+
+    def delete(self, obj: MovingObjectState) -> bool:
+        """Remove the entry previously inserted for ``obj`` (same object id,
+        motion parameters, and timestamp).  Returns False when the entry
+        has expired with its sub-index or cannot be found."""
+        tree = self._tree_for_window(self._window(obj.t), create=False)
+        if tree is None:
+            return False
+        return tree.delete(tree.space.to_dual(obj))
+
+    def update(self, old: Optional[MovingObjectState],
+               new: MovingObjectState) -> bool:
+        """Delete ``old`` (if supplied and not expired) and insert ``new``.
+
+        Returns True when an old entry was actually removed.  Objects send
+        their previous motion parameters along with the new ones, exactly
+        as in Section 4.5.  Window rotation triggers on the *arrival* of
+        the update (Section 4.1: "when an update with timestamp > 2L
+        arrives, we can simply delete the entries in the first index"), so
+        the stale window is retired before the old entry is looked up.
+        """
+        if new.d != self.config.d:
+            raise ValueError(
+                f"object is {new.d}-d but the index is {self.config.d}-d")
+        tree = self._tree_for_window(self._window(new.t), create=True)
+        removed = self.delete(old) if old is not None else False
+        tree.insert(tree.space.to_dual(new))
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Queries (Section 4.6)
+    # ------------------------------------------------------------------ #
+
+    def query(self, query: PredictiveQuery, refine: bool = True) -> List[int]:
+        """Object ids matching a time-slice, window, or moving query.
+
+        The dual-space region search is exact per dimension, but for
+        window/moving queries in d >= 2 each dimension may satisfy the
+        query at a *different* time, so the region conjunction admits
+        false positives (this is inherent to the paper's per-plane query
+        regions).  By default candidates are therefore refined with the
+        exact common-instant predicate -- the classic filter-and-refine
+        discipline.  ``refine=False`` returns the paper-literal candidate
+        set (always a superset of the true answer; identical to it for
+        time-slice queries).
+        """
+        moving = query.as_moving()
+        if moving.d != self.config.d:
+            raise ValueError(
+                f"query is {moving.d}-d but the index is {self.config.d}-d")
+        # A time-slice query evaluates every dimension at the same single
+        # instant, so the per-plane conjunction is already exact.
+        needs_refine = refine and moving.t_low < moving.t_high
+        results: List[int] = []
+        for tree in self._trees.values():
+            regions = build_query_regions(
+                moving, self.config.vmax, self.config.lifetime,
+                tree.space.t_ref)
+            candidates = tree.search(regions)
+            if needs_refine:
+                results.extend(self._refine(tree.space, candidates, moving))
+            else:
+                results.extend(entry.oid for entry in candidates)
+        return results
+
+    @staticmethod
+    def _refine(space: DualSpace, candidates, moving) -> List[int]:
+        """Exact common-instant check on dual-space candidates."""
+        evaluator = MovingQueryEvaluator(moving)
+        matches = evaluator.matches_trajectory
+        vmax = space.vmax
+        t_ref = space.t_ref
+        lifetime = space.lifetime
+        survivors = []
+        for entry in candidates:
+            pv = [v - vm for v, vm in zip(entry.v, vmax)]
+            p0 = [p - pvi * t_ref - vm * lifetime
+                  for p, pvi, vm in zip(entry.p, pv, vmax)]
+            if matches(p0, pv):
+                survivors.append(entry.oid)
+        return survivors
+
+    def count(self, query: PredictiveQuery) -> int:
+        """Number of objects matching the query.
+
+        Time-slice queries use the aggregate fast path: subtrees fully
+        inside the query body contribute their stored ``size`` counters
+        without any leaf-page access.  Window/moving queries need the
+        exact common-instant refinement, so they fall back to
+        ``len(self.query(...))``.
+        """
+        moving = query.as_moving()
+        if moving.d != self.config.d:
+            raise ValueError(
+                f"query is {moving.d}-d but the index is {self.config.d}-d")
+        if moving.t_low < moving.t_high:
+            return len(self.query(moving))
+        total = 0
+        for tree in self._trees.values():
+            regions = build_query_regions(
+                moving, self.config.vmax, self.config.lifetime,
+                tree.space.t_ref)
+            total += tree.count_in_regions(regions)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Bulk loading
+    # ------------------------------------------------------------------ #
+
+    def bulk_load(self, states: Iterable[MovingObjectState]) -> int:
+        """Build sub-indexes bottom-up from a batch of states.
+
+        Orders of magnitude faster than repeated :meth:`insert` for large
+        initial loads: states are transformed, grouped by lifetime window,
+        and each window's quadtree is materialised in one recursive pass
+        (the same machinery a leaf split uses).  The index must be empty.
+        Returns the number of entries loaded.
+        """
+        if self._trees:
+            raise RuntimeError("bulk_load requires an empty index")
+        by_window: Dict[int, List[MovingObjectState]] = {}
+        for state in states:
+            if state.d != self.config.d:
+                raise ValueError(
+                    f"object is {state.d}-d but the index is "
+                    f"{self.config.d}-d")
+            by_window.setdefault(self._window(state.t), []).append(state)
+        if not by_window:
+            return 0
+        newest = max(by_window)
+        loaded = 0
+        for window in sorted(by_window):
+            if window < newest - 1:
+                raise ValueError(
+                    f"bulk_load batch spans more than two lifetime "
+                    f"windows ({sorted(by_window)}); entries in window "
+                    f"{window} would be expired on arrival")
+            tree = self._tree_for_window(window, create=True)
+            points = [tree.space.to_dual(state)
+                      for state in by_window[window]]
+            tree.bulk_load(points)
+            loaded += len(points)
+        return loaded
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[int, QuadTreeStats]:
+        """Per-window structural statistics."""
+        return {window: tree.stats()
+                for window, tree in sorted(self._trees.items())}
+
+    def pages_in_use(self) -> int:
+        """Pages currently holding index records."""
+        return self.store.pages_in_use()
+
+    def flush(self) -> None:
+        """Write every dirty page back to the page file."""
+        self.pool.flush_all()
+
+    def __repr__(self) -> str:
+        return (f"StripesIndex(d={self.config.d}, entries={len(self)}, "
+                f"windows={self.live_windows}, "
+                f"pages={self.pages_in_use()})")

@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's evaluation: the index-based predictive
+kNN and join operations its Conclusions name as future work
+("index-based algorithms for supporting more complex predictive queries,
+such those involving nearest-neighbor and join operations").
+
+* :mod:`repro.extensions.knn` -- best-first k-nearest-neighbour search at
+  a future instant, for STRIPES (dual-space cell bounds), the TPR trees
+  (TPBR bounds), and the scan oracle.
+* :mod:`repro.extensions.join` -- predictive distance joins (all pairs of
+  objects within ``r`` of each other at a future instant) via synchronized
+  tree traversal.
+
+Every operation dispatches on the index type, so the call sites are
+uniform::
+
+    from repro.extensions import knn, distance_join
+
+    knn(index, point=(10.0, 20.0), t=60.0, k=5)
+    distance_join(index_a, index_b, radius=2.0, t=60.0)
+"""
+
+from repro.extensions.join import distance_join
+from repro.extensions.knn import knn
+
+__all__ = ["knn", "distance_join"]

@@ -1,0 +1,34 @@
+"""Query model: moving-object states, predictive query types, and exact
+native-space matching predicates.
+
+The three query classes follow Section 2.1 / 4.6 of the paper:
+
+* :class:`repro.query.types.TimeSliceQuery` -- objects inside a rectangle at
+  one future instant.
+* :class:`repro.query.types.WindowQuery` -- objects crossing a static
+  rectangle at any time inside a future window.
+* :class:`repro.query.types.MovingQuery` -- objects crossing a rectangle
+  that itself moves (a (d+1)-dimensional trapezoid).
+
+:mod:`repro.query.predicates` evaluates these queries *exactly* against a
+linear trajectory; every index in this repository is validated against it.
+"""
+
+from repro.query.predicates import matches, matches_with_tolerance
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    PredictiveQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+__all__ = [
+    "MovingObjectState",
+    "PredictiveQuery",
+    "TimeSliceQuery",
+    "WindowQuery",
+    "MovingQuery",
+    "matches",
+    "matches_with_tolerance",
+]

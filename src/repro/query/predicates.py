@@ -1,0 +1,228 @@
+"""Exact native-space matching of linear trajectories against queries.
+
+This module is the correctness oracle of the repository: the linear-scan
+baseline answers queries with it, the TPR/TPR*-trees use it for leaf-level
+filtering, and every index is property-tested against it.
+
+A trajectory matches a moving query iff there exists a time ``t`` in
+``[t_low, t_high]`` at which the object's predicted position lies inside the
+query rectangle at ``t`` in every dimension.  Because positions and
+rectangle edges are all linear in ``t``, the feasible times per dimension
+form a closed interval; the match test intersects those intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.query.types import MovingObjectState, PredictiveQuery
+
+Interval = Tuple[float, float]
+
+
+def linear_nonneg_interval(a: float, b: float, t_low: float,
+                           t_high: float) -> Optional[Interval]:
+    """Solve ``a + b*t >= 0`` for ``t`` in ``[t_low, t_high]``.
+
+    Returns the (closed) sub-interval where the inequality holds, or ``None``
+    when it holds nowhere in the range.
+    """
+    if t_low > t_high:
+        return None
+    if b == 0.0:
+        return (t_low, t_high) if a >= 0.0 else None
+    root = -a / b
+    if b > 0.0:
+        lo, hi = max(t_low, root), t_high
+    else:
+        lo, hi = t_low, min(t_high, root)
+    if lo > hi:
+        return None
+    return (lo, hi)
+
+
+def intersect_intervals(
+        intervals: Iterable[Optional[Interval]]) -> Optional[Interval]:
+    """Intersect intervals; ``None`` inputs (or an empty intersection)
+    yield ``None``."""
+    lo, hi = float("-inf"), float("inf")
+    for interval in intervals:
+        if interval is None:
+            return None
+        lo = max(lo, interval[0])
+        hi = min(hi, interval[1])
+        if lo > hi:
+            return None
+    return (lo, hi)
+
+
+def trajectory_match_interval(p0: Sequence[float], pv: Sequence[float],
+                              query: PredictiveQuery) -> Optional[Interval]:
+    """Feasible-time interval for the trajectory ``p_i(t) = p0_i + pv_i t``.
+
+    This is the shared core of the exact predicate: both native-space
+    object states and dual-space index entries reduce to per-dimension
+    ``(p0, pv)`` line parameters.  For each dimension ``i`` the
+    constraints are::
+
+        p_i(t) - ql_i(t) >= 0      and      qh_i(t) - p_i(t) >= 0
+
+    where the query edges ``ql_i``/``qh_i`` interpolate linearly between
+    the query's two rectangles.  Returns the common interval inside
+    ``[t_low, t_high]``, or ``None`` when the trajectory never satisfies
+    every dimension at the same instant.
+    """
+    moving = query.as_moving()
+    if len(p0) != moving.d:
+        raise ValueError(
+            f"trajectory is {len(p0)}-d but query is {moving.d}-d")
+    t_low, t_high = moving.t_low, moving.t_high
+    duration = t_high - t_low
+    intervals: list[Optional[Interval]] = []
+    for i in range(moving.d):
+        if duration > 0.0:
+            ql_v = (moving.low2[i] - moving.low1[i]) / duration
+            qh_v = (moving.high2[i] - moving.high1[i]) / duration
+        else:
+            ql_v = qh_v = 0.0
+        ql0 = moving.low1[i] - ql_v * t_low
+        qh0 = moving.high1[i] - qh_v * t_low
+        # p(t) >= ql(t)  ->  (p0 - ql0) + (pv - ql_v) t >= 0
+        interval = linear_nonneg_interval(p0[i] - ql0, pv[i] - ql_v,
+                                          t_low, t_high)
+        if interval is None:
+            return None
+        intervals.append(interval)
+        # qh(t) >= p(t)  ->  (qh0 - p0) + (qh_v - pv) t >= 0
+        interval = linear_nonneg_interval(qh0 - p0[i], qh_v - pv[i],
+                                          t_low, t_high)
+        if interval is None:
+            return None
+        intervals.append(interval)
+    return intersect_intervals(intervals)
+
+
+class MovingQueryEvaluator:
+    """Precompiled exact predicate for one query.
+
+    Query-edge line coefficients are derived once; each trajectory test is
+    then a handful of float operations.  This is the per-entry refinement
+    step of both STRIPES and the TPR trees, so it sits on the hottest query
+    path of the whole library.
+    """
+
+    __slots__ = ("t_low", "t_high", "d", "_coeffs")
+
+    def __init__(self, query: PredictiveQuery):
+        moving = query.as_moving()
+        self.t_low = moving.t_low
+        self.t_high = moving.t_high
+        self.d = moving.d
+        duration = self.t_high - self.t_low
+        coeffs = []
+        for i in range(self.d):
+            if duration > 0.0:
+                ql_v = (moving.low2[i] - moving.low1[i]) / duration
+                qh_v = (moving.high2[i] - moving.high1[i]) / duration
+            else:
+                ql_v = qh_v = 0.0
+            coeffs.append((moving.low1[i] - ql_v * self.t_low, ql_v,
+                           moving.high1[i] - qh_v * self.t_low, qh_v))
+        self._coeffs = tuple(coeffs)
+
+    def matches_trajectory(self, p0: Sequence[float],
+                           pv: Sequence[float]) -> bool:
+        """True when ``p(t) = p0 + pv t`` is inside the query rectangle at
+        some common instant of the query's time range."""
+        lo = self.t_low
+        hi = self.t_high
+        for i, (ql0, ql_v, qh0, qh_v) in enumerate(self._coeffs):
+            # p(t) >= ql(t):  (p0 - ql0) + (pv - ql_v) t >= 0
+            a = p0[i] - ql0
+            b = pv[i] - ql_v
+            if b > 0.0:
+                root = -a / b
+                if root > lo:
+                    lo = root
+            elif b < 0.0:
+                root = -a / b
+                if root < hi:
+                    hi = root
+            elif a < 0.0:
+                return False
+            if lo > hi:
+                return False
+            # qh(t) >= p(t):  (qh0 - p0) + (qh_v - pv) t >= 0
+            a = qh0 - p0[i]
+            b = qh_v - pv[i]
+            if b > 0.0:
+                root = -a / b
+                if root > lo:
+                    lo = root
+            elif b < 0.0:
+                root = -a / b
+                if root < hi:
+                    hi = root
+            elif a < 0.0:
+                return False
+            if lo > hi:
+                return False
+        return True
+
+    def matches_state(self, obj: MovingObjectState) -> bool:
+        """Convenience wrapper for object states."""
+        p0 = [p - v * obj.t for p, v in zip(obj.pos, obj.vel)]
+        return self.matches_trajectory(p0, obj.vel)
+
+
+def match_interval(obj: MovingObjectState,
+                   query: PredictiveQuery) -> Optional[Interval]:
+    """The closed interval of times at which ``obj`` is inside the query
+    rectangle, clipped to the query's time range; ``None`` if empty."""
+    # Object position: p_i(t) = pos_i + vel_i * (t - obj.t)
+    p0 = [p - v * obj.t for p, v in zip(obj.pos, obj.vel)]
+    return trajectory_match_interval(p0, obj.vel, query)
+
+
+def matches(obj: MovingObjectState, query: PredictiveQuery) -> bool:
+    """True iff the object's predicted trajectory satisfies the query."""
+    return match_interval(obj, query) is not None
+
+
+def matches_with_tolerance(obj: MovingObjectState, query: PredictiveQuery,
+                           eps: float) -> tuple[bool, bool]:
+    """Exact match plus a boundary flag for float-robust comparisons.
+
+    Returns ``(matched, on_boundary)``.  ``on_boundary`` is True when
+    expanding or shrinking the query rectangles by ``eps`` flips the
+    answer -- such objects sit within rounding distance of the query
+    boundary, and index implementations that round coordinates (e.g. the
+    paper's 4-byte floats) may legitimately classify them either way.
+    Comparison tests treat boundary objects as "don't care".
+    """
+    moving = query.as_moving()
+    matched = matches(obj, moving)
+    grown = type(moving)(
+        tuple(x - eps for x in moving.low1),
+        tuple(x + eps for x in moving.high1),
+        tuple(x - eps for x in moving.low2),
+        tuple(x + eps for x in moving.high2),
+        moving.t_low, moving.t_high,
+    )
+    shrunk_low1 = tuple(x + eps for x in moving.low1)
+    shrunk_high1 = tuple(x - eps for x in moving.high1)
+    shrunk_low2 = tuple(x + eps for x in moving.low2)
+    shrunk_high2 = tuple(x - eps for x in moving.high2)
+    degenerate = any(lo > hi for lo, hi in zip(shrunk_low1, shrunk_high1))
+    degenerate = degenerate or any(
+        lo > hi for lo, hi in zip(shrunk_low2, shrunk_high2))
+    if degenerate:
+        shrunk_matched = False
+    else:
+        shrunk = type(moving)(shrunk_low1, shrunk_high1,
+                              shrunk_low2, shrunk_high2,
+                              moving.t_low, moving.t_high)
+        shrunk_matched = matches(obj, shrunk)
+    grown_matched = matches(obj, grown)
+    on_boundary = grown_matched != shrunk_matched
+    return matched, on_boundary

@@ -1,0 +1,154 @@
+"""Moving-object states and the three predictive query types.
+
+All coordinates are tuples of length ``d`` (the native-space dimensionality,
+2 in every experiment of the paper).  The most general query type is the
+moving query; window queries are moving queries whose two rectangles
+coincide, and time-slice queries are window queries with ``t_low == t_high``
+(Section 4.6).  :meth:`as_moving` canonicalises any query to that general
+form, which is what the index search code consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+Vector = Tuple[float, ...]
+
+
+def _check_vector_pair(low: Vector, high: Vector, what: str) -> None:
+    if len(low) != len(high):
+        raise ValueError(f"{what}: bound dimensionalities differ "
+                         f"({len(low)} vs {len(high)})")
+    for lo, hi in zip(low, high):
+        if lo > hi:
+            raise ValueError(f"{what}: lower bound {lo} exceeds upper {hi}")
+
+
+@dataclass(frozen=True)
+class MovingObjectState:
+    """A predicted trajectory: position ``pos`` and velocity ``vel`` observed
+    at time ``t``; the object is predicted at ``pos + vel * (t' - t)``."""
+
+    oid: int
+    pos: Vector
+    vel: Vector
+    t: float
+
+    def __post_init__(self) -> None:
+        if len(self.pos) != len(self.vel):
+            raise ValueError(
+                f"object {self.oid}: position is {len(self.pos)}-d but "
+                f"velocity is {len(self.vel)}-d"
+            )
+
+    @property
+    def d(self) -> int:
+        return len(self.pos)
+
+    def position_at(self, when: float) -> Vector:
+        """Predicted position at time ``when`` under the linear model."""
+        dt = when - self.t
+        return tuple(p + v * dt for p, v in zip(self.pos, self.vel))
+
+
+@dataclass(frozen=True)
+class TimeSliceQuery:
+    """All objects inside ``[low, high]`` at future instant ``t`` (Q1)."""
+
+    low: Vector
+    high: Vector
+    t: float
+
+    def __post_init__(self) -> None:
+        _check_vector_pair(self.low, self.high, "time-slice query")
+
+    @property
+    def d(self) -> int:
+        return len(self.low)
+
+    def as_moving(self) -> "MovingQuery":
+        return MovingQuery(self.low, self.high, self.low, self.high,
+                           self.t, self.t)
+
+
+@dataclass(frozen=True)
+class WindowQuery:
+    """All objects crossing static ``[low, high]`` during
+    ``[t_low, t_high]`` (Q2)."""
+
+    low: Vector
+    high: Vector
+    t_low: float
+    t_high: float
+
+    def __post_init__(self) -> None:
+        _check_vector_pair(self.low, self.high, "window query")
+        if self.t_low > self.t_high:
+            raise ValueError(
+                f"window query: t_low {self.t_low} exceeds t_high "
+                f"{self.t_high}"
+            )
+
+    @property
+    def d(self) -> int:
+        return len(self.low)
+
+    def as_moving(self) -> "MovingQuery":
+        return MovingQuery(self.low, self.high, self.low, self.high,
+                           self.t_low, self.t_high)
+
+
+@dataclass(frozen=True)
+class MovingQuery:
+    """All objects crossing the moving rectangle that interpolates from
+    ``[low1, high1]`` at ``t_low`` to ``[low2, high2]`` at ``t_high`` (Q3).
+
+    The query body is the (d+1)-dimensional trapezoid connecting the two
+    rectangles (Section 4.6).
+    """
+
+    low1: Vector
+    high1: Vector
+    low2: Vector
+    high2: Vector
+    t_low: float
+    t_high: float
+
+    def __post_init__(self) -> None:
+        _check_vector_pair(self.low1, self.high1, "moving query (rect 1)")
+        _check_vector_pair(self.low2, self.high2, "moving query (rect 2)")
+        if len(self.low1) != len(self.low2):
+            raise ValueError("moving query: rectangle dimensionalities differ")
+        if self.t_low > self.t_high:
+            raise ValueError(
+                f"moving query: t_low {self.t_low} exceeds t_high "
+                f"{self.t_high}"
+            )
+        if self.t_low == self.t_high and (self.low1 != self.low2
+                                          or self.high1 != self.high2):
+            raise ValueError(
+                "moving query with t_low == t_high must have identical "
+                "rectangles (the trapezoid degenerates to a single instant)"
+            )
+
+    @property
+    def d(self) -> int:
+        return len(self.low1)
+
+    def as_moving(self) -> "MovingQuery":
+        return self
+
+    def bounds_at(self, when: float) -> tuple[Vector, Vector]:
+        """The query rectangle's (low, high) at time ``when`` in
+        ``[t_low, t_high]``, by linear interpolation."""
+        if self.t_high == self.t_low:
+            return self.low1, self.high1
+        frac = (when - self.t_low) / (self.t_high - self.t_low)
+        low = tuple(a + (b - a) * frac for a, b in zip(self.low1, self.low2))
+        high = tuple(a + (b - a) * frac
+                     for a, b in zip(self.high1, self.high2))
+        return low, high
+
+
+PredictiveQuery = Union[TimeSliceQuery, WindowQuery, MovingQuery]

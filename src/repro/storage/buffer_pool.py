@@ -1,0 +1,182 @@
+"""LRU buffer pool with pin counts and physical-IO accounting.
+
+The pool mirrors the experimental setup in the paper (Section 5.1): a fixed
+number of frames (2048 pages of 4 KB in the paper), LRU replacement among
+unpinned frames, and write-back of dirty pages at eviction.  Every physical
+read and write is counted in :class:`repro.storage.stats.IOStats`; these
+counts are the IO component of every figure in the evaluation.
+
+Index code interacts with the pool through short pin/unpin windows::
+
+    with pool.pinned(page_id) as page:
+        ...read or mutate page.data...
+
+Eviction observers (registered with :meth:`BufferPool.add_eviction_listener`)
+let higher layers (the node stores keep deserialized node objects) drop
+cached objects when their backing page leaves memory, so that re-accessing
+the node is correctly charged a physical read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.pagefile import PageFile
+from repro.storage.stats import IOStats
+
+DEFAULT_POOL_PAGES = 2048
+"""Default pool capacity in pages, matching the paper's configuration."""
+
+
+class BufferPoolFullError(RuntimeError):
+    """Raised when every frame is pinned and a new page must be brought in."""
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache over a :class:`PageFile`."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = DEFAULT_POOL_PAGES,
+                 stats: IOStats | None = None):
+        if capacity <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        # OrderedDict in LRU order: oldest first.
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._eviction_listeners: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Frame management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_frames(self) -> int:
+        """Pages currently resident."""
+        return len(self._frames)
+
+    def is_resident(self, page_id: int) -> bool:
+        """True if ``page_id`` is currently in the pool (no LRU touch)."""
+        return page_id in self._frames
+
+    def add_eviction_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the page id of every eviction."""
+        self._eviction_listeners.append(listener)
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, pinned.  Counts a logical read, and a physical
+        read when the page was not resident.  Callers must unpin."""
+        self.stats.logical_reads += 1
+        page = self._frames.get(page_id)
+        if page is None:
+            self._make_room()
+            data = self.pagefile.read(page_id)
+            self.stats.physical_reads += 1
+            page = Page(page_id, data, self.pagefile.page_size)
+            self._frames[page_id] = page
+        else:
+            self._frames.move_to_end(page_id)
+        page.pin()
+        return page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page in the file and return it pinned and dirty.
+
+        No physical read is charged; the write happens at eviction or flush.
+        """
+        self._make_room()
+        page_id = self.pagefile.allocate()
+        self.stats.pages_allocated += 1
+        page = Page(page_id, None, self.pagefile.page_size)
+        page.dirty = True
+        page.pin()
+        self._frames[page_id] = page
+        return page
+
+    def unpin(self, page: Page, dirty: bool = False) -> None:
+        """Release one pin; ``dirty=True`` marks the page for write-back."""
+        if dirty:
+            page.mark_dirty()
+        page.unpin()
+
+    @contextmanager
+    def pinned(self, page_id: int) -> Iterator[Page]:
+        """Context manager that pins ``page_id`` for the duration of the
+        block.  Mark the page dirty inside the block if it was mutated."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            page.unpin()
+
+    def free_page(self, page_id: int) -> None:
+        """Drop the page from the pool (without write-back) and free it in
+        the file.  The page must not be pinned."""
+        page = self._frames.pop(page_id, None)
+        if page is not None and page.is_pinned:
+            raise RuntimeError(f"cannot free pinned page {page_id}")
+        self.pagefile.free(page_id)
+        self.stats.pages_freed += 1
+
+    # ------------------------------------------------------------------ #
+    # Write-back
+    # ------------------------------------------------------------------ #
+
+    def flush_page(self, page_id: int) -> None:
+        """Write the page back if dirty; it stays resident."""
+        page = self._frames.get(page_id)
+        if page is not None and page.dirty:
+            self.pagefile.write(page.page_id, bytes(page.data))
+            self.stats.physical_writes += 1
+            page.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool (all pins must be released)."""
+        pinned = [p.page_id for p in self._frames.values() if p.is_pinned]
+        if pinned:
+            raise RuntimeError(f"cannot clear pool with pinned pages {pinned}")
+        self.flush_all()
+        for page_id in list(self._frames):
+            self._evict(page_id)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _make_room(self) -> None:
+        """Evict LRU unpinned pages until a frame is available."""
+        while len(self._frames) >= self.capacity:
+            victim_id = self._pick_victim()
+            self._evict(victim_id)
+
+    def _pick_victim(self) -> int:
+        for page_id, page in self._frames.items():  # oldest first
+            if not page.is_pinned:
+                return page_id
+        raise BufferPoolFullError(
+            f"all {self.capacity} frames are pinned; cannot evict"
+        )
+
+    def _evict(self, page_id: int) -> None:
+        page = self._frames.pop(page_id)
+        if page.dirty:
+            self.pagefile.write(page.page_id, bytes(page.data))
+            self.stats.physical_writes += 1
+        self.stats.evictions += 1
+        for listener in self._eviction_listeners:
+            listener(page_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(frames={len(self._frames)}/{self.capacity}, "
+            f"reads={self.stats.physical_reads}, "
+            f"writes={self.stats.physical_writes})"
+        )

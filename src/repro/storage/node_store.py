@@ -1,0 +1,327 @@
+"""Record-level storage on top of the buffer pool.
+
+STRIPES stores non-leaf nodes as small records (352 bytes in the paper's
+two-dimensional configuration, ~11 per 4 KB page -- Section 5.1), *small*
+leaves as half-page records, and *large* leaves as full-page records.  The
+TPR/TPR*-trees store one node per page.  :class:`RecordStore` supports all
+of these through per-page size classes:
+
+* every page is dedicated to a single record size;
+* a small header carries the record size, slot count, and an occupancy
+  bitmap;
+* record ids encode ``(page_id, slot)`` so the object cache can invalidate
+  by page on buffer pool eviction.
+
+:class:`NodeCache` adds a deserialized-object cache with *write-through*
+semantics: every read still performs a (logical) page access through the
+buffer pool -- so IO accounting is identical to a system that parses node
+bytes on every access -- but Python-level deserialization is skipped while
+the page stays resident.  Mutations serialize immediately into the page.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Generic, Set, TypeVar
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import Page
+
+MAX_SLOTS_PER_PAGE = 1024
+"""Record ids are ``page_id * MAX_SLOTS_PER_PAGE + slot``."""
+
+_HEADER = struct.Struct("<HH")  # record_size, num_slots
+
+
+class SizeClass:
+    """Layout of a page dedicated to records of one size."""
+
+    __slots__ = ("record_size", "num_slots", "bitmap_offset", "bitmap_len",
+                 "records_offset")
+
+    def __init__(self, record_size: int, page_size: int):
+        if record_size <= 0:
+            raise ValueError("record_size must be positive")
+        num_slots = 0
+        while True:
+            candidate = num_slots + 1
+            bitmap_len = (candidate + 7) // 8
+            if _HEADER.size + bitmap_len + candidate * record_size > page_size:
+                break
+            num_slots = candidate
+        if num_slots == 0:
+            raise ValueError(
+                f"record size {record_size} does not fit in a "
+                f"{page_size}-byte page"
+            )
+        if num_slots > MAX_SLOTS_PER_PAGE:
+            num_slots = MAX_SLOTS_PER_PAGE
+        self.record_size = record_size
+        self.num_slots = num_slots
+        self.bitmap_offset = _HEADER.size
+        self.bitmap_len = (num_slots + 7) // 8
+        self.records_offset = _HEADER.size + self.bitmap_len
+
+    def record_offset(self, slot: int) -> int:
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+        return self.records_offset + slot * self.record_size
+
+
+def rid_page(rid: int) -> int:
+    """Page id component of a record id."""
+    return rid // MAX_SLOTS_PER_PAGE
+
+
+def rid_slot(rid: int) -> int:
+    """Slot component of a record id."""
+    return rid % MAX_SLOTS_PER_PAGE
+
+
+def make_rid(page_id: int, slot: int) -> int:
+    """Build a record id from page and slot."""
+    return page_id * MAX_SLOTS_PER_PAGE + slot
+
+
+class RecordStore:
+    """Fixed-size-record allocation over a buffer pool.
+
+    One store can serve multiple record sizes at once; each *page* holds a
+    single size.  Free-slot availability per size class is tracked in
+    memory (the moral equivalent of a cached space map) so allocation does
+    not scan pages.
+    """
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._classes: Dict[int, SizeClass] = {}
+        # record_size -> stack of page ids with at least one free slot.  A
+        # stack (most-recently-touched first) keeps records allocated close
+        # in time on the same page -- the sibling-clustering property the
+        # paper relies on for STRIPES non-leaf nodes (Section 5.1).
+        self._pages_with_space: Dict[int, list] = {}
+        self._pages_with_space_set: Dict[int, Set[int]] = {}
+        # page_id -> (size class, occupied-slot count); in-memory mirror
+        self._page_meta: Dict[int, tuple[SizeClass, int]] = {}
+
+    def size_class(self, record_size: int) -> SizeClass:
+        """Return (and memoize) the layout for ``record_size``."""
+        cls = self._classes.get(record_size)
+        if cls is None:
+            cls = SizeClass(record_size, self.pool.pagefile.page_size)
+            self._classes[record_size] = cls
+        return cls
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, record_size: int, payload: bytes) -> int:
+        """Store ``payload`` in a fresh record of the given size class and
+        return its record id.  ``payload`` may be shorter than the class
+        size (trailing bytes are undefined, as in a real slotted page)."""
+        cls = self.size_class(record_size)
+        if len(payload) > record_size:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds record size "
+                f"{record_size}"
+            )
+        page_id = self._find_page_with_space(cls)
+        page = self.pool.fetch(page_id)
+        try:
+            slot = self._claim_free_slot(page, cls)
+            page.write(cls.record_offset(slot), payload)
+        finally:
+            page.unpin()
+        _, occupied = self._page_meta[page_id]
+        occupied += 1
+        self._page_meta[page_id] = (cls, occupied)
+        if occupied >= cls.num_slots:
+            self._drop_space(record_size, page_id)
+        return make_rid(page_id, slot)
+
+    def read(self, rid: int) -> bytes:
+        """Return the full record-size byte slice for ``rid``."""
+        cls, page = self._fetch_record_page(rid)
+        try:
+            return page.read(cls.record_offset(rid_slot(rid)), cls.record_size)
+        finally:
+            page.unpin()
+
+    def write(self, rid: int, payload: bytes) -> None:
+        """Overwrite record ``rid`` with ``payload`` (write-through)."""
+        cls, page = self._fetch_record_page(rid)
+        try:
+            if len(payload) > cls.record_size:
+                raise ValueError(
+                    f"payload of {len(payload)} bytes exceeds record size "
+                    f"{cls.record_size}"
+                )
+            page.write(cls.record_offset(rid_slot(rid)), payload)
+        finally:
+            page.unpin()
+
+    def free(self, rid: int) -> None:
+        """Release the record; empty pages are returned to the page file."""
+        page_id = rid_page(rid)
+        cls, page = self._fetch_record_page(rid)
+        try:
+            self._set_bitmap(page, cls, rid_slot(rid), occupied=False)
+        finally:
+            page.unpin()
+        _, occupied = self._page_meta[page_id]
+        occupied -= 1
+        if occupied <= 0:
+            del self._page_meta[page_id]
+            self._drop_space(cls.record_size, page_id)
+            self.pool.free_page(page_id)
+        else:
+            self._page_meta[page_id] = (cls, occupied)
+            self._add_space(cls.record_size, page_id)
+
+    def record_size_of(self, rid: int) -> int:
+        """Record size class of ``rid`` (from the in-memory space map)."""
+        return self._page_meta[rid_page(rid)][0].record_size
+
+    def pages_in_use(self) -> int:
+        """Number of pages currently holding at least one record."""
+        return len(self._page_meta)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _fetch_record_page(self, rid: int) -> tuple[SizeClass, Page]:
+        meta = self._page_meta.get(rid_page(rid))
+        if meta is None:
+            raise KeyError(f"record {rid} does not exist")
+        cls, _ = meta
+        page = self.pool.fetch(rid_page(rid))
+        return cls, page
+
+    def _add_space(self, record_size: int, page_id: int) -> None:
+        members = self._pages_with_space_set.setdefault(record_size, set())
+        if page_id not in members:
+            members.add(page_id)
+            self._pages_with_space.setdefault(record_size, []).append(page_id)
+
+    def _drop_space(self, record_size: int, page_id: int) -> None:
+        members = self._pages_with_space_set.get(record_size)
+        if members and page_id in members:
+            members.discard(page_id)
+            stack = self._pages_with_space[record_size]
+            # Fast path: the most recent page is usually the one dropping.
+            if stack and stack[-1] == page_id:
+                stack.pop()
+            else:
+                stack.remove(page_id)
+
+    def _find_page_with_space(self, cls: SizeClass) -> int:
+        stack = self._pages_with_space.setdefault(cls.record_size, [])
+        if stack:
+            return stack[-1]
+        page = self.pool.new_page()
+        try:
+            page.write(0, _HEADER.pack(cls.record_size, cls.num_slots))
+            page.write(cls.bitmap_offset, b"\x00" * cls.bitmap_len)
+        finally:
+            page.unpin()
+        self._page_meta[page.page_id] = (cls, 0)
+        self._add_space(cls.record_size, page.page_id)
+        return page.page_id
+
+    def _claim_free_slot(self, page: Page, cls: SizeClass) -> int:
+        bitmap = page.read(cls.bitmap_offset, cls.bitmap_len)
+        for slot in range(cls.num_slots):
+            if not bitmap[slot >> 3] & (1 << (slot & 7)):
+                self._set_bitmap(page, cls, slot, occupied=True)
+                return slot
+        raise RuntimeError(
+            f"page {page.page_id} advertised free space but has none"
+        )
+
+    def _set_bitmap(self, page: Page, cls: SizeClass, slot: int,
+                    occupied: bool) -> None:
+        byte_off = cls.bitmap_offset + (slot >> 3)
+        current = page.read(byte_off, 1)[0]
+        mask = 1 << (slot & 7)
+        if occupied:
+            current |= mask
+        else:
+            if not current & mask:
+                raise ValueError(f"slot {slot} on page {page.page_id} "
+                                 "already free")
+            current &= ~mask
+        page.write(byte_off, bytes([current]))
+
+
+T = TypeVar("T")
+
+
+class NodeCache(Generic[T]):
+    """Deserialized-node cache with write-through persistence.
+
+    ``serialize``/``deserialize`` convert between node objects and record
+    payload bytes.  Reads always touch the buffer pool (so residency and IO
+    counts behave exactly as if nodes were parsed from bytes each time);
+    the Python object is only rebuilt after its page was evicted.
+    """
+
+    def __init__(self, store: RecordStore,
+                 serialize: Callable[[T], bytes],
+                 deserialize: Callable[[bytes], T]):
+        self.store = store
+        self._serialize = serialize
+        self._deserialize = deserialize
+        self._objects: Dict[int, T] = {}
+        self._rids_by_page: Dict[int, Set[int]] = {}
+        store.pool.add_eviction_listener(self._on_eviction)
+
+    def get(self, rid: int) -> T:
+        """Fetch the node for ``rid`` (page access always goes through the
+        buffer pool; deserialization is skipped on object-cache hits)."""
+        cls, page = self.store._fetch_record_page(rid)
+        try:
+            obj = self._objects.get(rid)
+            if obj is None:
+                raw = page.read(cls.record_offset(rid_slot(rid)),
+                                cls.record_size)
+                obj = self._deserialize(raw)
+                self._remember(rid, obj)
+            return obj
+        finally:
+            page.unpin()
+
+    def insert(self, record_size: int, obj: T) -> int:
+        """Persist a new node and return its record id."""
+        rid = self.store.allocate(record_size, self._serialize(obj))
+        self._remember(rid, obj)
+        return rid
+
+    def update(self, rid: int, obj: T) -> None:
+        """Serialize ``obj`` into its record (write-through)."""
+        self.store.write(rid, self._serialize(obj))
+        self._remember(rid, obj)
+
+    def free(self, rid: int) -> None:
+        """Delete the record and drop the cached object."""
+        self.store.free(rid)
+        obj = self._objects.pop(rid, None)
+        if obj is not None:
+            page_rids = self._rids_by_page.get(rid_page(rid))
+            if page_rids is not None:
+                page_rids.discard(rid)
+
+    def cached_count(self) -> int:
+        """Number of node objects currently cached (test helper)."""
+        return len(self._objects)
+
+    def _remember(self, rid: int, obj: T) -> None:
+        self._objects[rid] = obj
+        self._rids_by_page.setdefault(rid_page(rid), set()).add(rid)
+
+    def _on_eviction(self, page_id: int) -> None:
+        rids = self._rids_by_page.pop(page_id, None)
+        if rids:
+            for rid in rids:
+                self._objects.pop(rid, None)

@@ -1,0 +1,171 @@
+"""Page-addressed files.
+
+A page file is the persistence layer below the buffer pool.  Two
+implementations share the :class:`PageFile` interface:
+
+* :class:`OnDiskPageFile` -- a real file on the filesystem, used by the
+  examples and the full-scale benchmarks.
+* :class:`InMemoryPageFile` -- a list of buffers, used by tests and the
+  default benchmark configuration.  Physical IO is still *counted* by the
+  buffer pool; only the actual device traffic is elided, which keeps unit
+  tests hermetic and fast while preserving the paper's IO accounting.
+
+Freed pages go on a free list and are reused by subsequent allocations,
+mirroring how SHORE recycles slotted pages.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Iterator
+
+from repro.storage.page import PAGE_SIZE
+
+
+class PageFile(abc.ABC):
+    """Abstract page-addressed storage with allocate/read/write/free."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self._free_list: list[int] = []
+        self._num_pages = 0
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated (non-free) pages."""
+        return self._num_pages - len(self._free_list)
+
+    @property
+    def capacity_pages(self) -> int:
+        """Highest page id ever allocated plus one (file extent)."""
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Allocate a page and return its id, reusing freed pages first."""
+        if self._free_list:
+            return self._free_list.pop()
+        page_id = self._num_pages
+        self._num_pages += 1
+        self._extend_to(self._num_pages)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list.  Double frees are rejected."""
+        self._check_page_id(page_id)
+        if page_id in self._free_list:
+            raise ValueError(f"page {page_id} already freed")
+        self._free_list.append(page_id)
+
+    def read(self, page_id: int) -> bytearray:
+        """Read a full page; returns a fresh buffer the caller owns."""
+        self._check_page_id(page_id)
+        return self._read_page(page_id)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write a full page buffer."""
+        self._check_page_id(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page write must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+        self._write_page(page_id, data)
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any underlying resources."""
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._num_pages:
+            raise ValueError(
+                f"page id {page_id} out of range [0, {self._num_pages})"
+            )
+
+    @abc.abstractmethod
+    def _extend_to(self, num_pages: int) -> None:
+        """Grow the underlying storage to hold ``num_pages`` pages."""
+
+    @abc.abstractmethod
+    def _read_page(self, page_id: int) -> bytearray:
+        ...
+
+    @abc.abstractmethod
+    def _write_page(self, page_id: int, data: bytes) -> None:
+        ...
+
+
+class InMemoryPageFile(PageFile):
+    """Page file backed by a list of buffers (for tests and fast benches)."""
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        super().__init__(page_size)
+        self._pages: list[bytearray] = []
+
+    def _extend_to(self, num_pages: int) -> None:
+        while len(self._pages) < num_pages:
+            self._pages.append(bytearray(self.page_size))
+
+    def _read_page(self, page_id: int) -> bytearray:
+        return bytearray(self._pages[page_id])
+
+    def _write_page(self, page_id: int, data: bytes) -> None:
+        self._pages[page_id] = bytearray(data)
+
+    def iter_pages(self) -> Iterator[bytes]:
+        """Yield raw page buffers (test helper)."""
+        for page in self._pages:
+            yield bytes(page)
+
+
+class OnDiskPageFile(PageFile):
+    """Page file backed by a regular file.
+
+    The file is created if missing.  Reopening an existing file resumes with
+    its current extent; the free list is not persisted (freed pages from a
+    previous session are simply not reused), which is sufficient for index
+    files that are rebuilt each index lifetime (Section 2 of the paper).
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = PAGE_SIZE):
+        super().__init__(page_size)
+        self.path = os.fspath(path)
+        exists = os.path.exists(self.path)
+        self._fh = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            size = os.fstat(self._fh.fileno()).st_size
+            if size % page_size:
+                raise ValueError(
+                    f"{self.path} has size {size}, not a multiple of the "
+                    f"page size {page_size}"
+                )
+            self._num_pages = size // page_size
+
+    def _extend_to(self, num_pages: int) -> None:
+        self._fh.seek(0, os.SEEK_END)
+        current = self._fh.tell() // self.page_size
+        if current < num_pages:
+            self._fh.write(b"\x00" * (num_pages - current) * self.page_size)
+
+    def _read_page(self, page_id: int) -> bytearray:
+        self._fh.seek(page_id * self.page_size)
+        data = self._fh.read(self.page_size)
+        if len(data) != self.page_size:
+            raise IOError(f"short read of page {page_id} from {self.path}")
+        return bytearray(data)
+
+    def _write_page(self, page_id: int, data: bytes) -> None:
+        self._fh.seek(page_id * self.page_size)
+        self._fh.write(data)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()

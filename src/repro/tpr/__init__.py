@@ -1,0 +1,21 @@
+"""TPR-tree and TPR*-tree baselines (Sections 3.1-3.2).
+
+The paper evaluates STRIPES against the TPR*-tree (Tao, Papadias & Sun,
+VLDB 2003), itself an optimised TPR-tree (Saltenis et al., SIGMOD 2000).
+Both are R*-tree derivatives whose bounding rectangles carry velocity
+vectors -- *time-parameterized bounding rectangles* (TPBRs) that grow over
+time.
+
+* :class:`repro.tpr.TPRTree` -- greedy single-path insertion using
+  integrated-metric enlargement, R*-style splits over position *and*
+  velocity sorts, tightening of TPBRs at update time.
+* :class:`repro.tpr.TPRStarTree` -- adds the TPR*-tree's globally optimal
+  ``ChoosePath`` insertion (priority-queue traversal over multiple paths)
+  and ``PickWorst`` forced reinsertion on overflow.
+"""
+
+from repro.tpr.tpbr import TPBR
+from repro.tpr.tprtree import TPRTree, TPRTreeConfig
+from repro.tpr.tprstar import TPRStarTree
+
+__all__ = ["TPBR", "TPRTree", "TPRTreeConfig", "TPRStarTree"]

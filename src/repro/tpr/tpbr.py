@@ -1,0 +1,298 @@
+"""Time-parameterized bounding rectangles (TPBRs).
+
+A TPBR (Section 3.1, Figure 2) bounds a set of moving points for every
+time ``t >= t0``: in dimension ``i`` the box spans::
+
+    [lower_i + vlower_i (t - t0),  upper_i + vupper_i (t - t0)]
+
+with ``vlower_i = min`` and ``vupper_i = max`` of the member velocities, so
+the box is conservative forever and grows (never shrinks) with ``t``.
+
+The TPR family steers its structure with *integrated* metrics
+(``integral over [T, T+H] of M(t) dt`` where M is area, margin, or overlap
+area -- Section 3.1).  Area and margin integrate in closed form (the
+extents are linear in ``t``); pairwise overlap is piecewise polynomial and
+is integrated numerically with Simpson's rule, which is plenty for ranking
+candidate nodes.
+
+``TPBR`` is a plain ``__slots__`` class rather than a dataclass: unions and
+integrals run hundreds of times per TPR*-tree insertion, so construction
+must stay cheap.  :meth:`validate` performs the invariant checks that a
+dataclass would do in ``__post_init__``; tests call it after every
+structural operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.query.predicates import (
+    intersect_intervals,
+    linear_nonneg_interval,
+)
+from repro.query.types import MovingQuery
+
+
+class TPBR:
+    """A conservative moving bounding box referenced at time ``t0``."""
+
+    __slots__ = ("t0", "lower", "upper", "vlower", "vupper")
+
+    def __init__(self, t0: float, lower: Tuple[float, ...],
+                 upper: Tuple[float, ...], vlower: Tuple[float, ...],
+                 vupper: Tuple[float, ...]):
+        self.t0 = t0
+        self.lower = lower
+        self.upper = upper
+        self.vlower = vlower
+        self.vupper = vupper
+
+    @property
+    def d(self) -> int:
+        return len(self.lower)
+
+    def validate(self) -> None:
+        """Check structural invariants (lower <= upper in both position and
+        velocity, consistent dimensionality).  Raises ``ValueError``."""
+        d = len(self.lower)
+        if not (len(self.upper) == len(self.vlower) == len(self.vupper) == d):
+            raise ValueError("TPBR bound vectors have mismatched lengths")
+        for i in range(d):
+            if self.lower[i] > self.upper[i]:
+                raise ValueError(
+                    f"TPBR dimension {i}: lower {self.lower[i]} exceeds "
+                    f"upper {self.upper[i]}")
+            if self.vlower[i] > self.vupper[i]:
+                raise ValueError(
+                    f"TPBR dimension {i}: vlower {self.vlower[i]} exceeds "
+                    f"vupper {self.vupper[i]}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TPBR):
+            return NotImplemented
+        return (self.t0 == other.t0 and self.lower == other.lower
+                and self.upper == other.upper
+                and self.vlower == other.vlower
+                and self.vupper == other.vupper)
+
+    def __hash__(self) -> int:
+        return hash((self.t0, self.lower, self.upper, self.vlower,
+                     self.vupper))
+
+    def __repr__(self) -> str:
+        return (f"TPBR(t0={self.t0}, lower={self.lower}, "
+                f"upper={self.upper}, vlower={self.vlower}, "
+                f"vupper={self.vupper})")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_point(cls, p0: Sequence[float], vel: Sequence[float],
+                   t0: float) -> "TPBR":
+        """Degenerate TPBR of one trajectory ``p(t) = p0 + vel * t``,
+        referenced at ``t0``."""
+        at_t0 = tuple(p + v * t0 for p, v in zip(p0, vel))
+        vel_t = tuple(vel)
+        return cls(t0, at_t0, at_t0, vel_t, vel_t)
+
+    @classmethod
+    def union_of(cls, boxes: Sequence["TPBR"], t0: float) -> "TPBR":
+        """Tight union of ``boxes`` referenced at ``t0``; every box is
+        extrapolated to ``t0`` first (``t0`` must not precede any member's
+        reference time, or the extrapolation would not be conservative)."""
+        if not boxes:
+            raise ValueError("cannot union zero TPBRs")
+        first = boxes[0]
+        dt = t0 - first.t0
+        lower = [l + v * dt for l, v in zip(first.lower, first.vlower)]
+        upper = [u + v * dt for u, v in zip(first.upper, first.vupper)]
+        vlower = list(first.vlower)
+        vupper = list(first.vupper)
+        d = len(lower)
+        for box in boxes[1:]:
+            dt = t0 - box.t0
+            b_lower, b_upper = box.lower, box.upper
+            b_vlower, b_vupper = box.vlower, box.vupper
+            for i in range(d):
+                lo = b_lower[i] + b_vlower[i] * dt
+                if lo < lower[i]:
+                    lower[i] = lo
+                hi = b_upper[i] + b_vupper[i] * dt
+                if hi > upper[i]:
+                    upper[i] = hi
+                if b_vlower[i] < vlower[i]:
+                    vlower[i] = b_vlower[i]
+                if b_vupper[i] > vupper[i]:
+                    vupper[i] = b_vupper[i]
+        return cls(t0, tuple(lower), tuple(upper), tuple(vlower),
+                   tuple(vupper))
+
+    # ------------------------------------------------------------------ #
+    # Geometry over time
+    # ------------------------------------------------------------------ #
+
+    def bounds_at(self, t: float) -> Tuple[Tuple[float, ...],
+                                           Tuple[float, ...]]:
+        """Box bounds at time ``t`` (conservative for ``t >= t0``)."""
+        dt = t - self.t0
+        lo = tuple(l + v * dt for l, v in zip(self.lower, self.vlower))
+        hi = tuple(u + v * dt for u, v in zip(self.upper, self.vupper))
+        return lo, hi
+
+    def rebased(self, t0: float) -> "TPBR":
+        """The same moving box referenced at a later time ``t0``."""
+        lo, hi = self.bounds_at(t0)
+        return TPBR(t0, lo, hi, self.vlower, self.vupper)
+
+    def contains_trajectory(self, p0: Sequence[float], vel: Sequence[float],
+                            eps: float = 1e-7) -> bool:
+        """Necessary test for membership of a trajectory inserted while this
+        box was maintained: position at ``t0`` inside the box and velocity
+        inside the velocity bounds (with a small float tolerance)."""
+        t0 = self.t0
+        for i in range(len(self.lower)):
+            at_t0 = p0[i] + vel[i] * t0
+            scale = 1.0 + abs(self.lower[i]) + abs(self.upper[i])
+            if not (self.lower[i] - eps * scale <= at_t0
+                    <= self.upper[i] + eps * scale):
+                return False
+            vscale = 1.0 + abs(self.vlower[i]) + abs(self.vupper[i])
+            if not (self.vlower[i] - eps * vscale <= vel[i]
+                    <= self.vupper[i] + eps * vscale):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Integrated metrics (Section 3.1)
+    # ------------------------------------------------------------------ #
+
+    def area_at(self, t: float) -> float:
+        """Box volume at time ``t``."""
+        dt = t - self.t0
+        area = 1.0
+        for i in range(len(self.lower)):
+            area *= (self.upper[i] - self.lower[i]
+                     + (self.vupper[i] - self.vlower[i]) * dt)
+        return area
+
+    def margin_at(self, t: float) -> float:
+        """Sum of extents at time ``t`` (the R*-tree margin metric)."""
+        dt = t - self.t0
+        return sum(self.upper[i] - self.lower[i]
+                   + (self.vupper[i] - self.vlower[i]) * dt
+                   for i in range(len(self.lower)))
+
+    def area_integral(self, t_start: float, horizon: float) -> float:
+        """Closed-form ``integral over [t_start, t_start+H] of area(t) dt``.
+
+        The area is a degree-``d`` polynomial of ``dt = t - t0``; its
+        coefficients come from convolving the per-dimension linear extents.
+        The two-dimensional case (every experiment in the paper) is
+        unrolled.
+        """
+        a = t_start - self.t0
+        b = a + horizon
+        if len(self.lower) == 2:
+            e0 = self.upper[0] - self.lower[0]
+            r0 = self.vupper[0] - self.vlower[0]
+            e1 = self.upper[1] - self.lower[1]
+            r1 = self.vupper[1] - self.vlower[1]
+            c0 = e0 * e1
+            c1 = e0 * r1 + e1 * r0
+            c2 = r0 * r1
+            return (c0 * (b - a) + c1 * (b * b - a * a) * 0.5
+                    + c2 * (b * b * b - a * a * a) / 3.0)
+        coeffs = [1.0]  # coefficients of dt^k, low order first
+        for i in range(len(self.lower)):
+            e = self.upper[i] - self.lower[i]
+            r = self.vupper[i] - self.vlower[i]
+            nxt = [0.0] * (len(coeffs) + 1)
+            for k, c in enumerate(coeffs):
+                nxt[k] += c * e
+                nxt[k + 1] += c * r
+            coeffs = nxt
+        total = 0.0
+        for k, c in enumerate(coeffs):
+            total += c * (b ** (k + 1) - a ** (k + 1)) / (k + 1)
+        return total
+
+    def margin_integral(self, t_start: float, horizon: float) -> float:
+        """Closed-form integral of the margin over the horizon."""
+        a = t_start - self.t0
+        b = a + horizon
+        e_sum = 0.0
+        r_sum = 0.0
+        for i in range(len(self.lower)):
+            e_sum += self.upper[i] - self.lower[i]
+            r_sum += self.vupper[i] - self.vlower[i]
+        return e_sum * horizon + r_sum * (b * b - a * a) / 2.0
+
+    def overlap_area_at(self, other: "TPBR", t: float) -> float:
+        """Volume of the intersection of the two boxes at time ``t``."""
+        dt1 = t - self.t0
+        dt2 = t - other.t0
+        area = 1.0
+        for i in range(len(self.lower)):
+            hi = min(self.upper[i] + self.vupper[i] * dt1,
+                     other.upper[i] + other.vupper[i] * dt2)
+            lo = max(self.lower[i] + self.vlower[i] * dt1,
+                     other.lower[i] + other.vlower[i] * dt2)
+            extent = hi - lo
+            if extent <= 0.0:
+                return 0.0
+            area *= extent
+        return area
+
+    def overlap_integral(self, other: "TPBR", t_start: float,
+                         horizon: float, samples: int = 8) -> float:
+        """Numeric (composite Simpson) integral of the pairwise overlap
+        area over the horizon.  The overlap is piecewise polynomial; this
+        approximation only ranks split candidates, where sampling error is
+        negligible against the differences between candidates."""
+        if samples % 2:
+            samples += 1
+        h = horizon / samples
+        total = self.overlap_area_at(other, t_start)
+        total += self.overlap_area_at(other, t_start + horizon)
+        for k in range(1, samples):
+            weight = 4.0 if k % 2 else 2.0
+            total += weight * self.overlap_area_at(other, t_start + k * h)
+        return total * h / 3.0
+
+    # ------------------------------------------------------------------ #
+    # Query intersection
+    # ------------------------------------------------------------------ #
+
+    def intersects_query(self, query: MovingQuery) -> bool:
+        """True when the moving box overlaps the moving query rectangle at
+        some common instant inside the query's time range.  Conservative
+        and exact for boxes (unlike points, the per-dimension common-time
+        test is the correct pruning predicate for rectangles)."""
+        t_low, t_high = query.t_low, query.t_high
+        duration = t_high - t_low
+        intervals = []
+        for i in range(len(self.lower)):
+            if duration > 0.0:
+                ql_v = (query.low2[i] - query.low1[i]) / duration
+                qh_v = (query.high2[i] - query.high1[i]) / duration
+            else:
+                ql_v = qh_v = 0.0
+            ql0 = query.low1[i] - ql_v * t_low
+            qh0 = query.high1[i] - qh_v * t_low
+            # Box edges as absolute-time lines.
+            lo0 = self.lower[i] - self.vlower[i] * self.t0
+            hi0 = self.upper[i] - self.vupper[i] * self.t0
+            # hi(t) >= ql(t) and qh(t) >= lo(t)
+            first = linear_nonneg_interval(
+                hi0 - ql0, self.vupper[i] - ql_v, t_low, t_high)
+            if first is None:
+                return False
+            second = linear_nonneg_interval(
+                qh0 - lo0, qh_v - self.vlower[i], t_low, t_high)
+            if second is None:
+                return False
+            intervals.append(first)
+            intervals.append(second)
+        return intersect_intervals(intervals) is not None

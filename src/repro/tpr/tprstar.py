@@ -1,0 +1,60 @@
+"""The TPR*-tree (Tao, Papadias & Sun, VLDB 2003) -- Section 3.2.
+
+Two changes over the base TPR-tree:
+
+* **ChoosePath**: instead of the greedy per-level choice, a priority queue
+  ordered by accumulated deterioration cost explores partial root-to-node
+  paths; because every enlargement increment is non-negative, the first
+  target-level node popped has the globally minimal insertion cost
+  (Figure 3 of the paper shows why the greedy choice can be arbitrarily
+  bad).  The price is that the insertion *traverses multiple paths* down
+  the tree -- the extra IOs the paper's evaluation attributes to the
+  TPR*-tree.
+* **Forced reinsertion** (PickWorst): on the first overflow per level of an
+  insertion, the lambda = 30 % entries at the low end of the largest-extent
+  sort are removed and reinserted; only if overflow recurs is the node
+  split.  This is inherited from :class:`repro.tpr.tprtree.TPRTree` via
+  ``use_forced_reinsert``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List
+
+from repro.tpr.tpbr import TPBR
+from repro.tpr.tprtree import TPRTree
+
+
+class TPRStarTree(TPRTree):
+    """TPR-tree with globally optimal ChoosePath and forced reinsertion."""
+
+    use_forced_reinsert = True
+
+    def _choose_path(self, box: TPBR, target_level: int) -> List[int]:
+        """Best-first search over partial paths (ChoosePath).
+
+        Each heap item carries the accumulated integrated-area enlargement
+        ("deterioration") of the nodes along its path.  Expanding a node
+        costs one page access; the search therefore reads nodes on several
+        candidate paths, exactly the behaviour the paper measures.
+        """
+        tc, horizon = self._now, self.config.horizon
+        tie = itertools.count()
+        heap = [(0.0, next(tie), self._root, [self._root])]
+        while heap:
+            cost, _, rid, path = heapq.heappop(heap)
+            node = self.cache.get(rid)
+            if node.level == target_level:
+                return path
+            for child in node.entries:
+                union = TPBR.union_of([child.tpbr, box], tc)
+                enlargement = (union.area_integral(tc, horizon)
+                               - child.tpbr.area_integral(tc, horizon))
+                heapq.heappush(
+                    heap,
+                    (cost + max(0.0, enlargement), next(tie), child.rid,
+                     path + [child.rid]))
+        raise RuntimeError(
+            f"no node at level {target_level}; tree is inconsistent")

@@ -1,0 +1,498 @@
+"""The TPR-tree (Saltenis et al., SIGMOD 2000) -- Section 3.1.
+
+A time-parameterized R*-tree: nodes bound their children with TPBRs and all
+R*-tree heuristics (choose-subtree enlargement, split margin/overlap/area)
+are replaced by their *integrated* counterparts over the tree's horizon
+``H`` (the paper's index lifetime ``L``).
+
+Structure-modifying operations run against a buffer pool through the
+shared :class:`repro.storage.node_store.NodeCache`, so every traversal is
+charged page IOs exactly like the STRIPES quadtree.
+
+The insertion path choice is the classic *greedy* descent: at each node the
+child with the least integrated-metric enlargement is taken (volume above
+the leaf level, margin when choosing among leaves).  The TPR*-tree subclass
+replaces this with the globally optimal ``ChoosePath`` and adds forced
+reinsertion -- see :mod:`repro.tpr.tprstar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.query.predicates import MovingQueryEvaluator
+from repro.query.types import MovingObjectState, PredictiveQuery
+from repro.storage.node_store import NodeCache, RecordStore
+from repro.tpr.node import ChildEntry, Entry, LeafEntry, TPRNode, TPRNodeCodec
+from repro.tpr.tpbr import TPBR
+
+
+@dataclass(frozen=True)
+class TPRTreeConfig:
+    """TPR/TPR*-tree parameters.
+
+    ``horizon`` is the integration window ``H`` of every time-parameterized
+    metric (the paper sets it to the index lifetime).  ``min_fill`` is the
+    R*-tree minimum node utilisation; ``reinsert_fraction`` is the TPR*
+    forced-reinsert share (lambda = 30 % in the paper).  ``delete_eps`` is
+    the float tolerance of the find-leaf containment test (raise it in
+    float32 mode).
+    """
+
+    d: int = 2
+    horizon: float = 60.0
+    float32: bool = False
+    node_bytes: Optional[int] = None
+    min_fill: float = 0.4
+    reinsert_fraction: float = 0.3
+    overlap_samples: int = 8
+    delete_eps: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ValueError("d must be >= 1")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not 0.0 < self.min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        if not 0.0 < self.reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must be in (0, 1)")
+
+
+class TPRTree:
+    """Greedy TPR-tree over a shared record store / buffer pool."""
+
+    #: Subclasses toggle forced reinsertion on overflow (TPR* behaviour).
+    use_forced_reinsert = False
+
+    def __init__(self, config: TPRTreeConfig, store: RecordStore):
+        self.config = config
+        self.store = store
+        self.codec = TPRNodeCodec(config.d, config.float32)
+        page_size = store.pool.pagefile.page_size
+        self.node_bytes = (config.node_bytes if config.node_bytes is not None
+                           else page_size - 5)
+        # Reserve one slot: an over-full node (capacity + 1 entries) is
+        # persisted momentarily between the append and the split/reinsert.
+        self.leaf_capacity = self.codec.leaf_capacity(self.node_bytes) - 1
+        self.nonleaf_capacity = (
+            self.codec.nonleaf_capacity(self.node_bytes) - 1)
+        if self.leaf_capacity < 4 or self.nonleaf_capacity < 4:
+            raise ValueError("node_bytes too small for a useful fanout")
+        self.cache: NodeCache[TPRNode] = NodeCache(
+            store, self.codec.serialize, self.codec.deserialize)
+        self._root = self.cache.insert(self.node_bytes, TPRNode(0, []))
+        self._count = 0
+        self._now = 0.0
+        self._reinserted_levels: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def now(self) -> float:
+        """The tree's monotonic clock (latest update timestamp seen)."""
+        return self._now
+
+    def insert(self, obj: MovingObjectState) -> None:
+        """Index a predicted trajectory."""
+        if obj.d != self.config.d:
+            raise ValueError(
+                f"object is {obj.d}-d but the tree is {self.config.d}-d")
+        self._now = max(self._now, obj.t)
+        p0 = tuple(p - v * obj.t for p, v in zip(obj.pos, obj.vel))
+        self._reinserted_levels = set()
+        self._insert_item(LeafEntry(obj.oid, p0, obj.vel), 0)
+        self._count += 1
+
+    def delete(self, obj: MovingObjectState) -> bool:
+        """Remove the entry previously inserted for ``obj``; False when it
+        cannot be located (the caller treats the update as an insert)."""
+        p0 = tuple(p - v * obj.t for p, v in zip(obj.pos, obj.vel))
+        hit = self._find_leaf(self._root, p0, obj.vel, obj.oid,
+                              [self._root])
+        if hit is None:
+            return False
+        path, idx = hit
+        node = self.cache.get(path[-1])
+        node.entries.pop(idx)
+        self.cache.update(path[-1], node)
+        self._count -= 1
+        self._condense(path)
+        return True
+
+    def update(self, old: Optional[MovingObjectState],
+               new: MovingObjectState) -> bool:
+        """Delete ``old`` (when given) then insert ``new``."""
+        self._now = max(self._now, new.t)
+        removed = self.delete(old) if old is not None else False
+        self.insert(new)
+        return removed
+
+    def query(self, query: PredictiveQuery) -> List[int]:
+        """Object ids matching the query (exact: leaves are filtered with
+        the native-space common-instant predicate)."""
+        moving = query.as_moving()
+        if moving.d != self.config.d:
+            raise ValueError(
+                f"query is {moving.d}-d but the tree is {self.config.d}-d")
+        results: List[int] = []
+        evaluator = MovingQueryEvaluator(moving)
+        self._query_node(self._root, moving, evaluator, results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # TPBR helpers
+    # ------------------------------------------------------------------ #
+
+    def _entry_tpbr(self, item: Entry) -> TPBR:
+        if isinstance(item, LeafEntry):
+            return TPBR.from_point(item.p0, item.vel, self._now)
+        return item.tpbr
+
+    def _tight_tpbr(self, node: TPRNode) -> TPBR:
+        """Tight TPBR of a node's entries, referenced at the current time
+        (the TPR-tree tightens bounds whenever a node is modified)."""
+        return TPBR.union_of([self._entry_tpbr(e) for e in node.entries],
+                             self._now)
+
+    def _capacity(self, node: TPRNode) -> int:
+        return self.leaf_capacity if node.is_leaf else self.nonleaf_capacity
+
+    def _min_entries(self, node: TPRNode) -> int:
+        return max(1, int(self.config.min_fill * self._capacity(node)))
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+
+    def _insert_item(self, item: Entry, target_level: int) -> None:
+        root = self.cache.get(self._root)
+        if root.level < target_level:
+            # The tree shrank below the item's home level (possible while
+            # reinserting subtrees during condense): unpack the subtree and
+            # reinsert its constituents instead.
+            child = self.cache.get(item.rid)
+            entries = list(child.entries)
+            self.cache.free(item.rid)
+            for sub in entries:
+                self._insert_item(sub, child.level)
+            return
+        path = self._choose_path(self._entry_tpbr(item), target_level)
+        rid = path[-1]
+        node = self.cache.get(rid)
+        node.entries.append(item)
+        self.cache.update(rid, node)
+        if len(node.entries) > self._capacity(node):
+            self._handle_overflow(path)
+        else:
+            self._adjust_upward(path)
+
+    def _choose_path(self, box: TPBR, target_level: int) -> List[int]:
+        """Greedy root-to-target descent minimising integrated-metric
+        enlargement at each step (TPR-tree behaviour)."""
+        rid = self._root
+        path = [rid]
+        while True:
+            node = self.cache.get(rid)
+            if node.level == target_level:
+                return path
+            child_level = node.level - 1
+            use_margin = child_level == 0 and target_level == 0
+            best_idx = self._least_enlargement(node, box, use_margin)
+            rid = node.entries[best_idx].rid
+            path.append(rid)
+
+    def _least_enlargement(self, node: TPRNode, box: TPBR,
+                           use_margin: bool) -> int:
+        tc, horizon = self._now, self.config.horizon
+        best_idx = 0
+        best_key = None
+        for i, child in enumerate(node.entries):
+            union = TPBR.union_of([child.tpbr, box], tc)
+            if use_margin:
+                enlargement = (union.margin_integral(tc, horizon)
+                               - child.tpbr.margin_integral(tc, horizon))
+            else:
+                enlargement = (union.area_integral(tc, horizon)
+                               - child.tpbr.area_integral(tc, horizon))
+            key = (enlargement, child.tpbr.area_integral(tc, horizon))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    def _handle_overflow(self, path: List[int]) -> None:
+        node = self.cache.get(path[-1])
+        if (self.use_forced_reinsert and len(path) > 1
+                and node.level not in self._reinserted_levels):
+            self._reinserted_levels.add(node.level)
+            self._forced_reinsert(path)
+        else:
+            self._split(path)
+
+    # ------------------------------------------------------------------ #
+    # Split (R*-style over position and velocity sorts)
+    # ------------------------------------------------------------------ #
+
+    def _sort_key(self, item: Entry, kind: str, dim: int) -> float:
+        tc = self._now
+        if isinstance(item, LeafEntry):
+            if kind == "pos":
+                return item.p0[dim] + item.vel[dim] * tc
+            return item.vel[dim]
+        if kind == "pos":
+            return item.tpbr.bounds_at(tc)[0][dim]
+        return item.tpbr.vlower[dim]
+
+    def _split_entries(self, node: TPRNode) -> Tuple[List[Entry],
+                                                     List[Entry]]:
+        """Choose axis by least total integrated margin, then the
+        distribution on that axis by least integrated overlap (ties by
+        total integrated area) -- the R*-tree recipe with time-
+        parameterized metrics, sorting velocities as well as positions."""
+        entries = node.entries
+        total = len(entries)
+        m = self._min_entries(node)
+        tc, horizon = self._now, self.config.horizon
+
+        def prefix_suffix(order: List[Entry]):
+            boxes = [self._entry_tpbr(e) for e in order]
+            prefix = [boxes[0].rebased(tc)]
+            for box in boxes[1:]:
+                prefix.append(TPBR.union_of([prefix[-1], box], tc))
+            suffix = [boxes[-1].rebased(tc)]
+            for box in reversed(boxes[:-1]):
+                suffix.append(TPBR.union_of([suffix[-1], box], tc))
+            suffix.reverse()
+            return prefix, suffix
+
+        best_axis = None
+        best_margin = float("inf")
+        for kind in ("pos", "vel"):
+            for dim in range(self.config.d):
+                order = sorted(
+                    entries, key=lambda e: self._sort_key(e, kind, dim))
+                prefix, suffix = prefix_suffix(order)
+                margin_sum = 0.0
+                for k in range(m, total - m + 1):
+                    margin_sum += prefix[k - 1].margin_integral(tc, horizon)
+                    margin_sum += suffix[k].margin_integral(tc, horizon)
+                if margin_sum < best_margin:
+                    best_margin = margin_sum
+                    best_axis = (kind, dim, order, prefix, suffix)
+
+        kind, dim, order, prefix, suffix = best_axis
+        best_k = m
+        best_key = None
+        for k in range(m, total - m + 1):
+            left, right = prefix[k - 1], suffix[k]
+            overlap = left.overlap_integral(
+                right, tc, horizon, self.config.overlap_samples)
+            area = (left.area_integral(tc, horizon)
+                    + right.area_integral(tc, horizon))
+            key = (overlap, area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_k = k
+        return list(order[:best_k]), list(order[best_k:])
+
+    def _split(self, path: List[int]) -> None:
+        rid = path[-1]
+        node = self.cache.get(rid)
+        group1, group2 = self._split_entries(node)
+        node.entries = group1
+        self.cache.update(rid, node)
+        sibling = TPRNode(node.level, group2)
+        sibling_rid = self.cache.insert(self.node_bytes, sibling)
+        if len(path) == 1:
+            # Root split: grow the tree by one level.
+            new_root = TPRNode(node.level + 1, [
+                ChildEntry(rid, self._tight_tpbr(node)),
+                ChildEntry(sibling_rid, self._tight_tpbr(sibling)),
+            ])
+            self._root = self.cache.insert(self.node_bytes, new_root)
+            return
+        parent_rid = path[-2]
+        parent = self.cache.get(parent_rid)
+        for entry in parent.entries:
+            if entry.rid == rid:
+                entry.tpbr = self._tight_tpbr(node)
+                break
+        parent.entries.append(ChildEntry(sibling_rid,
+                                         self._tight_tpbr(sibling)))
+        self.cache.update(parent_rid, parent)
+        if len(parent.entries) > self._capacity(parent):
+            self._handle_overflow(path[:-1])
+        else:
+            self._adjust_upward(path[:-1])
+
+    # ------------------------------------------------------------------ #
+    # Forced reinsert (used by the TPR*-tree subclass)
+    # ------------------------------------------------------------------ #
+
+    def _forced_reinsert(self, path: List[int]) -> None:
+        """PickWorst (Section 3.2): sort along the dimension with the
+        largest extent (velocity extents scaled by the horizon to be
+        commensurate with positions) and reinsert the first lambda share."""
+        rid = path[-1]
+        node = self.cache.get(rid)
+        tc, horizon = self._now, self.config.horizon
+        tight = self._tight_tpbr(node)
+        best_axis = ("pos", 0)
+        best_extent = -1.0
+        for dim in range(self.config.d):
+            pos_extent = tight.upper[dim] - tight.lower[dim]
+            vel_extent = (tight.vupper[dim] - tight.vlower[dim]) * horizon
+            if pos_extent > best_extent:
+                best_extent = pos_extent
+                best_axis = ("pos", dim)
+            if vel_extent > best_extent:
+                best_extent = vel_extent
+                best_axis = ("vel", dim)
+        kind, dim = best_axis
+        order = sorted(node.entries,
+                       key=lambda e: self._sort_key(e, kind, dim))
+        n_reinsert = max(1, int(self.config.reinsert_fraction * len(order)))
+        removed = order[:n_reinsert]
+        node.entries = order[n_reinsert:]
+        self.cache.update(rid, node)
+        self._adjust_upward(path)
+        level = node.level
+        for item in removed:
+            self._insert_item(item, level)
+
+    # ------------------------------------------------------------------ #
+    # TPBR maintenance
+    # ------------------------------------------------------------------ #
+
+    def _adjust_upward(self, path: List[int]) -> None:
+        """Re-tighten the child TPBRs stored along ``path`` bottom-up."""
+        for depth in range(len(path) - 1, 0, -1):
+            child_rid = path[depth]
+            child = self.cache.get(child_rid)
+            parent_rid = path[depth - 1]
+            parent = self.cache.get(parent_rid)
+            for entry in parent.entries:
+                if entry.rid == child_rid:
+                    entry.tpbr = self._tight_tpbr(child)
+                    break
+            self.cache.update(parent_rid, parent)
+
+    # ------------------------------------------------------------------ #
+    # Deletion
+    # ------------------------------------------------------------------ #
+
+    def _find_leaf(self, rid: int, p0: Sequence[float],
+                   vel: Sequence[float], oid: int,
+                   path: List[int]) -> Optional[Tuple[List[int], int]]:
+        node = self.cache.get(rid)
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.oid == oid:
+                    return path, i
+            return None
+        for child in node.entries:
+            if child.tpbr.contains_trajectory(p0, vel,
+                                              self.config.delete_eps):
+                hit = self._find_leaf(child.rid, p0, vel, oid,
+                                      path + [child.rid])
+                if hit is not None:
+                    return hit
+        return None
+
+    def _condense(self, path: List[int]) -> None:
+        """R-tree CondenseTree: drop under-filled nodes along the delete
+        path, reinsert their orphaned entries, shrink a one-child root."""
+        orphans: List[Tuple[Entry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            rid = path[depth]
+            node = self.cache.get(rid)
+            parent_rid = path[depth - 1]
+            parent = self.cache.get(parent_rid)
+            if len(node.entries) < self._min_entries(node):
+                parent.entries = [e for e in parent.entries if e.rid != rid]
+                self.cache.update(parent_rid, parent)
+                for entry in node.entries:
+                    orphans.append((entry, node.level))
+                self.cache.free(rid)
+            else:
+                for entry in parent.entries:
+                    if entry.rid == rid:
+                        entry.tpbr = self._tight_tpbr(node)
+                        break
+                self.cache.update(parent_rid, parent)
+        while True:
+            root = self.cache.get(self._root)
+            if root.is_leaf or len(root.entries) != 1:
+                break
+            child_rid = root.entries[0].rid
+            self.cache.free(self._root)
+            self._root = child_rid
+        root = self.cache.get(self._root)
+        if not root.is_leaf and not root.entries:
+            self.cache.free(self._root)
+            self._root = self.cache.insert(self.node_bytes, TPRNode(0, []))
+        self._reinserted_levels = set()
+        for item, level in orphans:
+            self._insert_item(item, level)
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def _query_node(self, rid: int, moving,
+                    evaluator: MovingQueryEvaluator,
+                    results: List[int]) -> None:
+        node = self.cache.get(rid)
+        if node.is_leaf:
+            matches = evaluator.matches_trajectory
+            append = results.append
+            for entry in node.entries:
+                if matches(entry.p0, entry.vel):
+                    append(entry.oid)
+            return
+        for child in node.entries:
+            if child.tpbr.intersects_query(moving):
+                self._query_node(child.rid, moving, evaluator, results)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def height(self) -> int:
+        """Levels in the tree (1 for a single leaf root)."""
+        return self.cache.get(self._root).level + 1
+
+    def node_count(self) -> int:
+        """Total nodes (each occupies one page)."""
+        return self._count_nodes(self._root)
+
+    def _count_nodes(self, rid: int) -> int:
+        node = self.cache.get(rid)
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_nodes(c.rid) for c in node.entries)
+
+    def all_entries(self) -> List[LeafEntry]:
+        """Every stored leaf entry (test helper)."""
+        out: List[LeafEntry] = []
+        self._collect_entries(self._root, out)
+        return out
+
+    def _collect_entries(self, rid: int, out: List[LeafEntry]) -> None:
+        node = self.cache.get(rid)
+        if node.is_leaf:
+            out.extend(node.entries)
+            return
+        for child in node.entries:
+            self._collect_entries(child.rid, out)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(d={self.config.d}, "
+                f"entries={len(self)}, height={self.height()})")

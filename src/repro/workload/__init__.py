@@ -1,0 +1,29 @@
+"""Moving-object workload generation.
+
+Reimplementation of the workload generator of Saltenis et al. (used by the
+paper, Section 5.2): objects moving in a two-dimensional space issue
+position/velocity updates at random intervals, interleaved with predictive
+queries.  Both the *uniform* and the *network-skewed* (``ND`` destinations)
+data distributions are supported, with the paper's default parameters.
+"""
+
+from repro.workload.generator import WorkloadSpec, generate_workload
+from repro.workload.network import RouteNetwork
+from repro.workload.operations import (
+    InsertOp,
+    Operation,
+    QueryOp,
+    UpdateOp,
+    Workload,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_workload",
+    "RouteNetwork",
+    "Workload",
+    "Operation",
+    "InsertOp",
+    "UpdateOp",
+    "QueryOp",
+]

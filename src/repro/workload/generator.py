@@ -1,0 +1,254 @@
+"""The workload generator (Section 5.2).
+
+Reimplements the generator of Saltenis et al. from its published
+description, with the paper's defaults:
+
+* ``N`` objects in a square space whose side scales as ``sqrt(N / 100K) *
+  1000 km`` so density is constant across data sizes;
+* speeds uniform in ``[0, 3]`` km/min, directions random (uniform mode) or
+  along routes between ``ND`` destinations (skewed mode);
+* every object re-reports its motion at intervals uniform in
+  ``[0, 2*UI]`` with ``UI = 60``; the simulated horizon is 600 time units;
+* the operation stream mixes updates and queries at a configurable ratio
+  (80-20 / 50-50 / 20-80 in the evaluation); queries are 60 % time-slice,
+  20 % window, 20 % moving, spatial extent 0.25 % of the space, temporal
+  range 40.
+
+Between updates, uniform-mode objects bounce off the space boundary
+(coordinate folding), so reported positions always lie inside
+``[0, pmax]``; network-mode objects follow routes hub to hub.  Reported
+*old* parameters are exactly the previously inserted state, as required by
+the delete protocol (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    PredictiveQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+from repro.workload.network import NetworkTraveller, RouteNetwork
+from repro.workload.operations import QueryOp, UpdateOp, Workload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Generator parameters; defaults follow Section 5.2.
+
+    ``d`` generalises the generator beyond the paper's two-dimensional
+    workloads (used by the dimensionality-sweep experiment); the skewed
+    network mode is inherently two-dimensional and requires ``d == 2``.
+    """
+
+    d: int = 2
+    n_objects: int = 10_000
+    duration: float = 600.0
+    update_interval: float = 60.0          # UI
+    update_fraction: float = 0.5           # updates share of the op stream
+    query_mix: Tuple[float, float, float] = (0.6, 0.2, 0.2)
+    query_temporal_range: float = 40.0     # W
+    query_spatial_fraction: float = 0.0025  # of the space's area
+    nd: Optional[int] = None               # destinations; None = uniform
+    max_speed: float = 3.0                 # km/min
+    space_side: Optional[float] = None     # override the density scaling
+    reference_objects: int = 100_000       # paper: 100K objects ...
+    reference_side: float = 1000.0         # ... in a 1000x1000 km space
+    n_operations: Optional[int] = None     # stop after this many ops
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ValueError("d must be >= 1")
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be >= 1")
+        if not 0.0 < self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in (0, 1]")
+        if abs(sum(self.query_mix) - 1.0) > 1e-9:
+            raise ValueError(f"query_mix must sum to 1, got {self.query_mix}")
+        if self.nd is not None and self.nd < 2:
+            raise ValueError("nd must be >= 2 for skewed workloads")
+        if self.nd is not None and self.d != 2:
+            raise ValueError("network-skewed workloads are two-dimensional")
+
+    @property
+    def side(self) -> float:
+        """Space side length, scaled to keep the paper's object density."""
+        if self.space_side is not None:
+            return self.space_side
+        return self.reference_side * math.sqrt(
+            self.n_objects / self.reference_objects)
+
+    @property
+    def pmax(self) -> Tuple[float, ...]:
+        return (self.side,) * self.d
+
+    @property
+    def vmax(self) -> Tuple[float, ...]:
+        return (self.max_speed,) * self.d
+
+    @property
+    def query_side(self) -> float:
+        """Query rectangle side (0.25 % of area -> 5 % of the side)."""
+        return math.sqrt(self.query_spatial_fraction) * self.side
+
+
+def _reflect(value: float, side: float) -> float:
+    """Fold a coordinate into ``[0, side]`` by mirroring at the walls."""
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    period = 2.0 * side
+    value %= period
+    return period - value if value > side else value
+
+
+def _random_direction(rng: random.Random, d: int) -> Tuple[float, ...]:
+    """A uniformly random unit vector in ``d`` dimensions."""
+    if d == 1:
+        return (1.0,) if rng.random() < 0.5 else (-1.0,)
+    if d == 2:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return (math.cos(angle), math.sin(angle))
+    while True:
+        components = [rng.gauss(0.0, 1.0) for _ in range(d)]
+        norm = math.sqrt(sum(c * c for c in components))
+        if norm > 1e-12:
+            return tuple(c / norm for c in components)
+
+
+@dataclass
+class _ObjectSim:
+    """Simulation state of one object between updates."""
+
+    reported: MovingObjectState
+    traveller: Optional[NetworkTraveller] = None
+
+
+@dataclass
+class _QueryFactory:
+    """Draws queries with the paper's default mix and shapes."""
+
+    spec: WorkloadSpec
+    rng: random.Random
+
+    def make(self, now: float) -> PredictiveQuery:
+        spec, rng = self.spec, self.rng
+        side_q = spec.query_side
+        low = tuple(rng.uniform(0.0, spec.side - side_q)
+                    for _ in range(spec.d))
+        high = tuple(l + side_q for l in low)
+        t1 = now + rng.uniform(0.0, spec.query_temporal_range)
+        roll = rng.random()
+        ts_share, win_share, _ = spec.query_mix
+        if roll < ts_share:
+            return TimeSliceQuery(low, high, t1)
+        t2 = rng.uniform(t1, now + spec.query_temporal_range)
+        if roll < ts_share + win_share or t2 == t1:
+            return WindowQuery(low, high, t1, t2)
+        direction = _random_direction(rng, spec.d)
+        speed = rng.uniform(0.0, spec.max_speed)
+        shift = tuple(u * speed * (t2 - t1) for u in direction)
+        return MovingQuery(low, high,
+                           tuple(l + s for l, s in zip(low, shift)),
+                           tuple(h + s for h, s in zip(high, shift)),
+                           t1, t2)
+
+
+class _Generator:
+    """Event-driven simulation producing the operation stream."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.network = (RouteNetwork.generate(spec.nd, spec.pmax, self.rng)
+                        if spec.nd is not None else None)
+        self.queries = _QueryFactory(spec, self.rng)
+
+    def _random_velocity(self) -> Tuple[float, ...]:
+        direction = _random_direction(self.rng, self.spec.d)
+        speed = self.rng.uniform(0.0, self.spec.max_speed)
+        return tuple(u * speed for u in direction)
+
+    def _initial_object(self, oid: int) -> _ObjectSim:
+        rng, spec = self.rng, self.spec
+        if self.network is None:
+            pos = tuple(rng.uniform(0.0, spec.side) for _ in range(spec.d))
+            return _ObjectSim(MovingObjectState(
+                oid, pos, self._random_velocity(), 0.0))
+        # Network mode: start somewhere along a random route.
+        origin = self.network.random_destination(rng)
+        dest = self.network.random_destination(rng, exclude=origin)
+        frac = rng.random()
+        ox, oy = self.network.destinations[origin]
+        dx, dy = self.network.destinations[dest]
+        pos = (ox + (dx - ox) * frac, oy + (dy - oy) * frac)
+        traveller = NetworkTraveller(pos, dest,
+                                     rng.uniform(0.0, spec.max_speed))
+        vel = traveller.velocity(self.network)
+        return _ObjectSim(MovingObjectState(oid, pos, vel, 0.0), traveller)
+
+    def _advance(self, sim: _ObjectSim, now: float) -> MovingObjectState:
+        """New reported state at ``now`` with fresh motion parameters."""
+        rng, spec = self.rng, self.spec
+        dt = now - sim.reported.t
+        if self.network is None:
+            pos = tuple(
+                _reflect(p + v * dt, spec.side)
+                for p, v in zip(sim.reported.pos, sim.reported.vel))
+            return MovingObjectState(sim.reported.oid, pos,
+                                     self._random_velocity(), now)
+        sim.traveller.advance(dt, self.network, rng)
+        sim.traveller.speed = rng.uniform(0.0, spec.max_speed)
+        return MovingObjectState(sim.reported.oid, sim.traveller.position,
+                                 sim.traveller.velocity(self.network), now)
+
+    def generate(self) -> Workload:
+        spec, rng = self.spec, self.rng
+        sims = [self._initial_object(oid) for oid in range(spec.n_objects)]
+        workload = Workload(
+            initial=[sim.reported for sim in sims],
+            pmax=spec.pmax, vmax=spec.vmax)
+        heap = [(rng.uniform(0.0, 2.0 * spec.update_interval), oid)
+                for oid in range(spec.n_objects)]
+        heapq.heapify(heap)
+        # Deterministic fractional interleave: every update is followed by
+        # queries_per_update queries on average, issued at the same clock.
+        queries_per_update = ((1.0 - spec.update_fraction)
+                              / spec.update_fraction)
+        carry = 0.0
+        ops = workload.operations
+        while heap:
+            now, oid = heapq.heappop(heap)
+            if now > spec.duration:
+                break
+            if spec.n_operations is not None and \
+                    len(ops) >= spec.n_operations:
+                break
+            sim = sims[oid]
+            new_state = self._advance(sim, now)
+            ops.append(UpdateOp(sim.reported, new_state))
+            sim.reported = new_state
+            heapq.heappush(
+                heap, (now + rng.uniform(0.0, 2.0 * spec.update_interval),
+                       oid))
+            carry += queries_per_update
+            while carry >= 1.0:
+                ops.append(QueryOp(self.queries.make(now), now))
+                carry -= 1.0
+        if spec.n_operations is not None:
+            del ops[spec.n_operations:]
+        return workload
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Generate a reproducible workload for ``spec`` (same seed, same
+    stream)."""
+    return _Generator(spec).generate()

@@ -1,0 +1,99 @@
+"""Destination networks for skewed workloads.
+
+The skewed workloads of Section 5.2/5.5 move objects through "a network of
+routes connecting a number of destinations, ND"; smaller ND means heavier
+skew (the evaluation uses ND = 20, 40, 60).  :class:`RouteNetwork` places
+the destinations uniformly and routes objects along straight segments
+between them: an object travels towards its current destination and, on
+arrival, continues towards a new randomly chosen one.  Positions therefore
+concentrate on the ``O(ND^2)`` line segments between hubs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class RouteNetwork:
+    """A fully connected set of destination hubs in a rectangular space."""
+
+    destinations: List[Point]
+
+    @classmethod
+    def generate(cls, nd: int, pmax: Tuple[float, float],
+                 rng: random.Random) -> "RouteNetwork":
+        """Place ``nd`` destinations uniformly in ``[0, pmax]``."""
+        if nd < 2:
+            raise ValueError(f"a route network needs >= 2 destinations, "
+                             f"got {nd}")
+        points = [(rng.uniform(0.0, pmax[0]), rng.uniform(0.0, pmax[1]))
+                  for _ in range(nd)]
+        return cls(points)
+
+    @property
+    def nd(self) -> int:
+        return len(self.destinations)
+
+    def random_destination(self, rng: random.Random,
+                           exclude: int = -1) -> int:
+        """Index of a random destination, optionally excluding one hub."""
+        while True:
+            idx = rng.randrange(self.nd)
+            if idx != exclude:
+                return idx
+
+    def direction_to(self, position: Point, dest_idx: int) -> Point:
+        """Unit vector from ``position`` towards destination ``dest_idx``
+        (zero vector when already there)."""
+        dx = self.destinations[dest_idx][0] - position[0]
+        dy = self.destinations[dest_idx][1] - position[1]
+        dist = math.hypot(dx, dy)
+        if dist == 0.0:
+            return (0.0, 0.0)
+        return (dx / dist, dy / dist)
+
+    def distance_to(self, position: Point, dest_idx: int) -> float:
+        dx = self.destinations[dest_idx][0] - position[0]
+        dy = self.destinations[dest_idx][1] - position[1]
+        return math.hypot(dx, dy)
+
+
+@dataclass
+class NetworkTraveller:
+    """State of one object moving through a :class:`RouteNetwork`."""
+
+    position: Point
+    dest_idx: int
+    speed: float
+
+    def velocity(self, network: RouteNetwork) -> Point:
+        ux, uy = network.direction_to(self.position, self.dest_idx)
+        return (ux * self.speed, uy * self.speed)
+
+    def advance(self, dt: float, network: RouteNetwork,
+                rng: random.Random) -> None:
+        """Move along routes for ``dt`` time units; passing through a hub
+        re-targets the traveller at a new random destination."""
+        remaining = self.speed * dt
+        while remaining > 0.0:
+            dist = network.distance_to(self.position, self.dest_idx)
+            if dist <= remaining:
+                self.position = network.destinations[self.dest_idx]
+                remaining -= dist
+                self.dest_idx = network.random_destination(
+                    rng, exclude=self.dest_idx)
+                if dist == 0.0 and remaining > 0.0:
+                    # Degenerate hub pair at the same point: stop here to
+                    # guarantee termination.
+                    break
+            else:
+                ux, uy = network.direction_to(self.position, self.dest_idx)
+                self.position = (self.position[0] + ux * remaining,
+                                 self.position[1] + uy * remaining)
+                remaining = 0.0

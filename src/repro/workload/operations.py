@@ -1,0 +1,86 @@
+"""Operation stream model.
+
+A :class:`Workload` is an initial bulk load (one insert per object at time
+zero) followed by a timestamp-ordered stream of update and query
+operations, mirroring how the paper feeds its indexes (Section 5.2: "the
+workload generator assigns initial positions for each moving object in the
+system, and then generates a workload which is a mix of update and query
+operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Union
+
+from repro.query.types import MovingObjectState, PredictiveQuery
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """Insert a brand-new object (used for the initial load)."""
+
+    state: MovingObjectState
+
+    @property
+    def timestamp(self) -> float:
+        return self.state.t
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """An object reports new motion parameters along with its previous ones
+    (which locate the old index entry -- Section 4.5)."""
+
+    old: MovingObjectState
+    new: MovingObjectState
+
+    @property
+    def timestamp(self) -> float:
+        return self.new.t
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """A predictive query issued at ``issued_at`` (current time)."""
+
+    query: PredictiveQuery
+    issued_at: float
+
+    @property
+    def timestamp(self) -> float:
+        return self.issued_at
+
+
+Operation = Union[InsertOp, UpdateOp, QueryOp]
+
+
+@dataclass
+class Workload:
+    """Initial load plus a timestamp-ordered operation stream."""
+
+    initial: List[MovingObjectState]
+    operations: List[Operation] = field(default_factory=list)
+    #: Native-space bounds the generator guaranteed (per dimension).
+    pmax: tuple = ()
+    vmax: tuple = ()
+
+    @property
+    def n_updates(self) -> int:
+        return sum(1 for op in self.operations if isinstance(op, UpdateOp))
+
+    @property
+    def n_queries(self) -> int:
+        return sum(1 for op in self.operations if isinstance(op, QueryOp))
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def check_ordered(self) -> bool:
+        """True when operation timestamps are non-decreasing."""
+        stream = self.operations
+        return all(stream[i].timestamp <= stream[i + 1].timestamp
+                   for i in range(len(stream) - 1))

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+
+
+@pytest.fixture
+def pagefile() -> InMemoryPageFile:
+    return InMemoryPageFile()
+
+
+@pytest.fixture
+def pool(pagefile) -> BufferPool:
+    """A comfortably sized pool (no evictions unless a test forces them)."""
+    return BufferPool(pagefile, capacity=4096)
+
+
+@pytest.fixture
+def tiny_pool(pagefile) -> BufferPool:
+    """A four-frame pool for eviction-path tests."""
+    return BufferPool(pagefile, capacity=4)
+
+
+@pytest.fixture
+def store(pool) -> RecordStore:
+    return RecordStore(pool)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

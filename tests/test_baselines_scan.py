@@ -1,0 +1,90 @@
+"""Tests for the linear-scan oracle baseline."""
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.query.types import MovingObjectState, TimeSliceQuery, WindowQuery
+
+
+def state(oid, x, y, vx=0.0, vy=0.0, t=0.0):
+    return MovingObjectState(oid, (x, y), (vx, vy), t)
+
+
+class TestBasics:
+    def test_insert_and_query(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 5.0, 5.0))
+        assert scan.query(TimeSliceQuery((0.0, 0.0), (10.0, 10.0), 1.0)) \
+            == [1]
+
+    def test_query_respects_motion(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 0.0, 0.0, vx=1.0))
+        assert scan.query(TimeSliceQuery((4.0, -1.0), (6.0, 1.0), 5.0)) \
+            == [1]
+        assert scan.query(TimeSliceQuery((4.0, -1.0), (6.0, 1.0), 9.0)) \
+            == []
+
+    def test_delete(self):
+        scan = ScanIndex(lifetime=10.0)
+        st1 = state(1, 5.0, 5.0)
+        scan.insert(st1)
+        assert scan.delete(st1)
+        assert len(scan) == 0
+        assert not scan.delete(st1)
+
+    def test_delete_falls_back_to_oid(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 5.0, 5.0))
+        slightly_off = state(1, 5.0000001, 5.0)
+        assert scan.delete(slightly_off)
+        assert len(scan) == 0
+
+    def test_duplicate_oids_both_stored(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 5.0, 5.0))
+        scan.insert(state(1, 6.0, 6.0))
+        assert len(scan) == 2
+        hits = scan.query(TimeSliceQuery((0.0, 0.0), (10.0, 10.0), 0.0))
+        assert hits == [1, 1]
+
+    def test_bad_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            ScanIndex(lifetime=0.0)
+
+    def test_negative_timestamp_rejected(self):
+        scan = ScanIndex(lifetime=10.0)
+        with pytest.raises(ValueError):
+            scan.insert(state(1, 0.0, 0.0, t=-1.0))
+
+
+class TestExpiry:
+    def test_old_window_expires(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 5.0, 5.0, t=0.0))
+        scan.insert(state(2, 5.0, 5.0, t=12.0))
+        assert len(scan) == 2  # windows 0 and 1 both live
+        scan.insert(state(3, 5.0, 5.0, t=25.0))
+        assert len(scan) == 2  # window 0 expired
+        assert scan.live_windows == [1, 2]
+
+    def test_update_rotates_before_delete(self):
+        scan = ScanIndex(lifetime=10.0)
+        old = state(1, 5.0, 5.0, t=0.0)
+        scan.insert(old)
+        removed = scan.update(old, state(1, 6.0, 6.0, t=25.0))
+        assert not removed  # the old window was retired on arrival
+        assert len(scan) == 1
+
+    def test_update_within_lifetime_removes_old(self):
+        scan = ScanIndex(lifetime=10.0)
+        old = state(1, 5.0, 5.0, t=0.0)
+        scan.insert(old)
+        assert scan.update(old, state(1, 6.0, 6.0, t=5.0))
+        assert len(scan) == 1
+
+    def test_live_states(self):
+        scan = ScanIndex(lifetime=10.0)
+        scan.insert(state(1, 5.0, 5.0))
+        scan.insert(state(2, 6.0, 6.0))
+        assert {s.oid for s in scan.live_states()} == {1, 2}

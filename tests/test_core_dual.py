@@ -1,0 +1,135 @@
+"""Unit and property tests for the dual transform (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dual import DualPoint, DualSpace
+from repro.query.types import MovingObjectState
+
+SPACE = DualSpace(vmax=(3.0, 3.0), pmax=(1000.0, 1000.0), lifetime=60.0)
+
+
+def obj_strategy(space: DualSpace, t_min=0.0):
+    d = space.d
+    pos = st.tuples(*[st.floats(min_value=0.0, max_value=space.pmax[i],
+                                allow_nan=False) for i in range(d)])
+    vel = st.tuples(*[st.floats(min_value=-space.vmax[i],
+                                max_value=space.vmax[i], allow_nan=False)
+                      for i in range(d)])
+    t = st.floats(min_value=space.t_ref,
+                  max_value=space.t_ref + space.lifetime)
+    return st.builds(
+        MovingObjectState,
+        oid=st.integers(min_value=0, max_value=2**40),
+        pos=pos, vel=vel, t=t)
+
+
+class TestConfigValidation:
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            DualSpace(vmax=(3.0,), pmax=(10.0, 10.0), lifetime=1.0)
+
+    def test_nonpositive_vmax_rejected(self):
+        with pytest.raises(ValueError, match="vmax"):
+            DualSpace(vmax=(0.0, 3.0), pmax=(10.0, 10.0), lifetime=1.0)
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ValueError, match="lifetime"):
+            DualSpace(vmax=(3.0,), pmax=(10.0,), lifetime=0.0)
+
+    def test_extents(self):
+        assert SPACE.velocity_extent == (6.0, 6.0)
+        assert SPACE.position_extent == (1360.0, 1360.0)  # 1000 + 2*3*60
+
+    def test_covers_time(self):
+        space = DualSpace(vmax=(3.0,), pmax=(10.0,), lifetime=60.0,
+                          t_ref=60.0)
+        assert space.covers_time(60.0)
+        assert space.covers_time(119.0)
+        assert not space.covers_time(120.0)
+        assert not space.covers_time(59.0)
+
+
+class TestTransform:
+    def test_known_values(self):
+        obj = MovingObjectState(1, (100.0, 200.0), (2.0, -1.0), t=10.0)
+        dual = SPACE.to_dual(obj)
+        # V = v + vmax
+        assert dual.v == (5.0, 2.0)
+        # P = p - v (t - tref) + vmax L
+        assert dual.p == (100.0 - 2.0 * 10.0 + 180.0,
+                          200.0 + 1.0 * 10.0 + 180.0)
+
+    def test_velocity_out_of_bounds_rejected(self):
+        obj = MovingObjectState(1, (0.0, 0.0), (4.0, 0.0), t=0.0)
+        with pytest.raises(ValueError, match="exceeds vmax"):
+            SPACE.to_dual(obj)
+
+    def test_position_out_of_bounds_rejected(self):
+        obj = MovingObjectState(1, (2000.0, 0.0), (0.0, 0.0), t=0.0)
+        with pytest.raises(ValueError, match="outside"):
+            SPACE.to_dual(obj)
+
+    def test_time_outside_lifetime_rejected(self):
+        obj = MovingObjectState(1, (0.0, 0.0), (0.0, 0.0), t=100.0)
+        with pytest.raises(ValueError, match="lifetime window"):
+            SPACE.to_dual(obj)
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            SPACE.to_dual(MovingObjectState(1, (0.0,), (0.0,), 0.0))
+
+    @settings(max_examples=300, deadline=None)
+    @given(obj=obj_strategy(SPACE))
+    def test_dual_coordinates_in_root_bounds(self, obj):
+        dual = SPACE.to_dual(obj)
+        for i in range(SPACE.d):
+            assert 0.0 <= dual.v[i] <= SPACE.velocity_extent[i]
+            assert -1e-9 <= dual.p[i] <= SPACE.position_extent[i] + 1e-9
+
+    @settings(max_examples=300, deadline=None)
+    @given(obj=obj_strategy(SPACE))
+    def test_round_trip_preserves_trajectory(self, obj):
+        """from_dual at any time reproduces the object's predicted
+        position (the dual point encodes the same line)."""
+        dual = SPACE.to_dual(obj)
+        for when in (obj.t, obj.t + 17.5, SPACE.lifetime * 2):
+            reconstructed = SPACE.from_dual(dual, when)
+            expected = obj.position_at(when)
+            for a, b in zip(reconstructed.pos, expected):
+                assert a == pytest.approx(b, abs=1e-6)
+            assert reconstructed.vel == pytest.approx(obj.vel)
+
+    def test_position_at_matches_from_dual(self):
+        obj = MovingObjectState(9, (10.0, 20.0), (1.0, -2.0), t=5.0)
+        dual = SPACE.to_dual(obj)
+        assert SPACE.position_at(dual, 42.0) == pytest.approx(
+            SPACE.from_dual(dual, 42.0).pos)
+
+
+class TestFloat32Mode:
+    F32 = DualSpace(vmax=(3.0, 3.0), pmax=(1000.0, 1000.0), lifetime=60.0,
+                    float32=True)
+
+    def test_coordinates_are_float32_representable(self):
+        import numpy as np
+        obj = MovingObjectState(1, (123.456, 789.012), (1.23, -2.34), t=7.7)
+        dual = self.F32.to_dual(obj)
+        for coord in dual.v + dual.p:
+            assert coord == float(np.float32(coord))
+
+    def test_transform_is_deterministic(self):
+        obj = MovingObjectState(1, (123.456, 789.012), (1.23, -2.34), t=7.7)
+        assert self.F32.to_dual(obj) == self.F32.to_dual(obj)
+
+
+class TestDualPoint:
+    def test_named_tuple_equality(self):
+        a = DualPoint(1, (1.0, 2.0), (3.0, 4.0))
+        b = DualPoint(1, (1.0, 2.0), (3.0, 4.0))
+        assert a == b
+        assert a.d == 2
+
+    def test_different_oid_not_equal(self):
+        assert DualPoint(1, (0.0,), (0.0,)) != DualPoint(2, (0.0,), (0.0,))

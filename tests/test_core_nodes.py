@@ -1,0 +1,127 @@
+"""Serialization round-trip tests for the quadtree node codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dual import DualPoint
+from repro.core.nodes import (
+    INVALID_RID,
+    LeafExtension,
+    LeafNode,
+    NodeCodec,
+    NonLeafNode,
+)
+
+
+def dual_points(d, max_size=20):
+    coord = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                      width=32)
+    return st.lists(
+        st.builds(DualPoint,
+                  oid=st.integers(min_value=0, max_value=2**60),
+                  v=st.tuples(*[coord] * d),
+                  p=st.tuples(*[coord] * d)),
+        max_size=max_size)
+
+
+class TestCodecSizes:
+    def test_fanout(self):
+        assert NodeCodec(1).fanout == 4
+        assert NodeCodec(2).fanout == 16
+        assert NodeCodec(3).fanout == 64
+
+    def test_entry_size(self):
+        assert NodeCodec(2).entry_size == 8 + 4 * 8       # oid + 4 doubles
+        assert NodeCodec(2, float32=True).entry_size == 8 + 4 * 4
+
+    def test_nonleaf_record_size_is_fixed(self):
+        codec = NodeCodec(2)
+        node = NonLeafNode(0, (0.0, 0.0), (0.0, 0.0),
+                           [INVALID_RID] * 16, [False] * 16, 0)
+        assert len(codec.serialize(node)) == codec.nonleaf_record_size
+
+    def test_leaf_capacity_monotone_in_record_size(self):
+        codec = NodeCodec(2)
+        assert codec.leaf_capacity(4091) > codec.leaf_capacity(2045) > 0
+
+    def test_too_small_leaf_record_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold any entry"):
+            NodeCodec(2).leaf_capacity(10)
+
+    def test_invalid_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCodec(0)
+
+
+class TestRoundTrips:
+    @settings(max_examples=100, deadline=None)
+    @given(d=st.integers(min_value=1, max_value=3), data=st.data())
+    def test_leaf_round_trip(self, d, data):
+        codec = NodeCodec(d)
+        coord = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+        leaf = LeafNode(
+            level=data.draw(st.integers(min_value=0, max_value=30)),
+            v_corner=data.draw(st.tuples(*[coord] * d)),
+            p_corner=data.draw(st.tuples(*[coord] * d)),
+            entries=data.draw(dual_points(d)),
+            overflow=data.draw(st.sampled_from([INVALID_RID, 0, 12345])),
+        )
+        back = codec.deserialize(codec.serialize(leaf))
+        assert back == leaf
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_nonleaf_round_trip(self, data):
+        codec = NodeCodec(2)
+        rids = data.draw(st.lists(
+            st.integers(min_value=-1, max_value=2**40),
+            min_size=16, max_size=16))
+        flags = data.draw(st.lists(st.booleans(), min_size=16, max_size=16))
+        coord = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+        node = NonLeafNode(
+            level=data.draw(st.integers(min_value=0, max_value=30)),
+            v_corner=data.draw(st.tuples(coord, coord)),
+            p_corner=data.draw(st.tuples(coord, coord)),
+            children=rids, child_is_leaf=flags,
+            size=data.draw(st.integers(min_value=0, max_value=2**31 - 1)))
+        back = codec.deserialize(codec.serialize(node))
+        assert back == node
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_extension_round_trip(self, data):
+        codec = NodeCodec(2)
+        ext = LeafExtension(entries=data.draw(dual_points(2)),
+                            overflow=data.draw(
+                                st.sampled_from([INVALID_RID, 77])))
+        back = codec.deserialize(codec.serialize(ext))
+        assert back == ext
+
+    def test_float32_round_trip_rounds_coordinates(self):
+        import numpy as np
+        codec = NodeCodec(2, float32=True)
+        value = 123.456789
+        leaf = LeafNode(0, (0.0, 0.0), (0.0, 0.0),
+                        [DualPoint(1, (value, 0.0), (value, 0.0))])
+        back = codec.deserialize(codec.serialize(leaf))
+        assert back.entries[0].v[0] == float(np.float32(value))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown node tag"):
+            NodeCodec(2).deserialize(b"\xff" + b"\x00" * 100)
+
+    def test_wrong_children_count_rejected(self):
+        codec = NodeCodec(2)
+        node = NonLeafNode(0, (0.0, 0.0), (0.0, 0.0), [INVALID_RID] * 4,
+                           [False] * 4, 0)
+        with pytest.raises(ValueError, match="child slots"):
+            codec.serialize(node)
+
+    def test_present_children(self):
+        children = [INVALID_RID] * 16
+        children[3] = 42
+        children[7] = 99
+        node = NonLeafNode(0, (0.0, 0.0), (0.0, 0.0), children,
+                           [False] * 16, 0)
+        assert node.present_children() == [3, 7]

@@ -1,0 +1,193 @@
+"""Unit and property tests for dual-space query regions (Section 4.6).
+
+The central property: a dual point is inside a plane's query region if and
+only if its one-dimensional trajectory crosses that plane's position
+corridor at some time inside the query window (the exact 1-d predicate).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dual import DualSpace
+from repro.core.query_region import (
+    Line,
+    QueryRegion2D,
+    RelPos,
+    build_query_regions,
+)
+from repro.query.predicates import matches
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+VMAX = 3.0
+PMAX = 100.0
+LIFETIME = 60.0
+SPACE_1D = DualSpace(vmax=(VMAX,), pmax=(PMAX,), lifetime=LIFETIME)
+
+
+def region_for(query, t_ref=0.0):
+    return QueryRegion2D.from_query_plane(query.as_moving(), 0, VMAX,
+                                          LIFETIME, t_ref)
+
+
+class TestLine:
+    def test_evaluation(self):
+        line = Line(slope=2.0, intercept=1.0)
+        assert line.at(3.0) == 7.0
+
+    def test_intersection(self):
+        a = Line(1.0, 0.0)
+        b = Line(-1.0, 10.0)
+        assert a.intersection_v(b) == pytest.approx(5.0)
+
+    def test_parallel_lines_no_intersection(self):
+        assert Line(1.0, 0.0).intersection_v(Line(1.0, 5.0)) is None
+
+
+class TestRegionShape:
+    def test_time_slice_region_is_parallelogram(self):
+        """For a time-slice query both boundary pairs coincide, so L2/U2
+        vanish (Figure 4)."""
+        region = region_for(TimeSliceQuery((10.0,), (20.0,), 30.0))
+        corners = region.corner_points(2 * VMAX)
+        assert corners["L2"] is None
+        assert corners["U2"] is None
+        # Parallel boundaries separated by the query's spatial extent.
+        assert (corners["U1"][1] - corners["L1"][1]) == pytest.approx(10.0)
+        assert (corners["U3"][1] - corners["L3"][1]) == pytest.approx(10.0)
+
+    def test_boundaries_slope_down_for_future_queries(self):
+        region = region_for(WindowQuery((10.0,), (20.0,), 30.0, 50.0))
+        assert region.lower_at(0.0) > region.lower_at(2 * VMAX)
+        assert region.upper_at(0.0) > region.upper_at(2 * VMAX)
+
+    def test_window_region_breakpoints(self):
+        """A window query with distinct endpoint times has two distinct
+        lower (and upper) lines whose min/max form the L2/U2 kinks of
+        Figures 5-6."""
+        region = region_for(WindowQuery((10.0,), (20.0,), 10.0, 50.0))
+        corners = region.corner_points(2 * VMAX)
+        # The breakpoint of the two lower lines is at V = vmax: the two
+        # constraints are equal exactly for a zero-native-velocity object.
+        assert corners["L2"] is not None
+        assert corners["L2"][0] == pytest.approx(VMAX)
+        assert corners["U2"][0] == pytest.approx(VMAX)
+
+    def test_lower_is_min_upper_is_max(self):
+        region = region_for(WindowQuery((10.0,), (20.0,), 10.0, 50.0))
+        for v in (0.0, 1.5, 3.0, 4.5, 6.0):
+            lines_low = [line.at(v) for line in region.lower_lines]
+            lines_up = [line.at(v) for line in region.upper_lines]
+            assert region.lower_at(v) == min(lines_low)
+            assert region.upper_at(v) == max(lines_up)
+
+
+def queries_1d(draw_bounds=st.floats(min_value=0.0, max_value=PMAX)):
+    """Random 1-d time-slice/window/moving queries with sane bounds."""
+    def build(kind, lo1, width1, lo2, width2, t1, dt):
+        hi1 = lo1 + width1
+        if kind == "ts":
+            return TimeSliceQuery((lo1,), (hi1,), t1)
+        if kind == "win":
+            return WindowQuery((lo1,), (hi1,), t1, t1 + dt)
+        if t1 + dt == t1:  # a degenerate moving query must be a time slice
+            return TimeSliceQuery((lo1,), (hi1,), t1)
+        return MovingQuery((lo1,), (hi1,), (lo2,), (lo2 + width2,),
+                           t1, t1 + dt)
+    return st.builds(
+        build,
+        kind=st.sampled_from(["ts", "win", "mov"]),
+        lo1=draw_bounds, width1=st.floats(min_value=0.0, max_value=30.0),
+        lo2=draw_bounds, width2=st.floats(min_value=0.0, max_value=30.0),
+        t1=st.floats(min_value=0.0, max_value=100.0),
+        dt=st.floats(min_value=0.0, max_value=50.0))
+
+
+def objects_1d():
+    return st.builds(
+        MovingObjectState,
+        oid=st.just(0),
+        pos=st.tuples(st.floats(min_value=0.0, max_value=PMAX)),
+        vel=st.tuples(st.floats(min_value=-VMAX, max_value=VMAX)),
+        t=st.floats(min_value=0.0, max_value=LIFETIME))
+
+
+class TestRegionMembershipExactness:
+    @settings(max_examples=400, deadline=None)
+    @given(query=queries_1d(), obj=objects_1d())
+    def test_membership_equals_exact_1d_predicate(self, query, obj):
+        """In one dimension the per-plane region is the whole story, so
+        membership must equal the exact native-space predicate (up to
+        boundary rounding)."""
+        dual = SPACE_1D.to_dual(obj)
+        region = region_for(query)
+        in_region = region.contains_point(dual.v[0], dual.p[0])
+        exact = matches(obj, query)
+        if in_region != exact:
+            # Disagreement is only legitimate within float rounding of the
+            # region boundary.
+            margin = min(abs(dual.p[0] - region.lower_at(dual.v[0])),
+                         abs(dual.p[0] - region.upper_at(dual.v[0])))
+            scale = 1.0 + abs(dual.p[0])
+            assert margin <= 1e-7 * scale, (
+                f"region membership {in_region} != exact {exact} with "
+                f"margin {margin}")
+
+
+class TestClassifyRect:
+    @settings(max_examples=300, deadline=None)
+    @given(query=queries_1d(),
+           v1=st.floats(min_value=0.0, max_value=2 * VMAX),
+           dv=st.floats(min_value=0.01, max_value=2 * VMAX),
+           p1=st.floats(min_value=0.0, max_value=PMAX + 2 * VMAX * LIFETIME),
+           dp=st.floats(min_value=0.01, max_value=200.0))
+    def test_classification_consistent_with_sampling(self, query, v1, dv,
+                                                     p1, dp):
+        """INSIDE rects contain only member points; DISJUNCT rects contain
+        none (verified on a sample grid including corners)."""
+        region = region_for(query)
+        v2, p2 = v1 + dv, p1 + dp
+        rel = region.classify_rect(v1, v2, p1, p2)
+        samples = [(v, p)
+                   for v in (v1, (v1 + v2) / 2, v2)
+                   for p in (p1, (p1 + p2) / 2, p2)]
+        memberships = [region.contains_point(v, p) for v, p in samples]
+        if rel is RelPos.INSIDE:
+            assert all(memberships)
+        elif rel is RelPos.DISJUNCT:
+            assert not any(memberships)
+
+    def test_known_inside(self):
+        region = region_for(TimeSliceQuery((0.0,), (100.0,), 0.0))
+        # At t == t_ref the region is a horizontal band of height 100
+        # starting at vmax*L; a small rect in the middle is inside.
+        mid = VMAX * LIFETIME + 50.0
+        assert region.classify_rect(1.0, 2.0, mid, mid + 1.0) \
+            is RelPos.INSIDE
+
+    def test_known_disjunct(self):
+        region = region_for(TimeSliceQuery((0.0,), (1.0,), 0.0))
+        assert region.classify_rect(0.0, 6.0, 0.0, 1.0) is RelPos.DISJUNCT
+
+    def test_overlap_straddling_boundary(self):
+        region = region_for(TimeSliceQuery((0.0,), (100.0,), 0.0))
+        low = VMAX * LIFETIME
+        assert region.classify_rect(0.0, 6.0, low - 10.0, low + 10.0) \
+            is RelPos.OVERLAP
+
+
+class TestBuildQueryRegions:
+    def test_one_region_per_plane(self):
+        query = TimeSliceQuery((0.0, 0.0), (10.0, 10.0), 5.0).as_moving()
+        regions = build_query_regions(query, (3.0, 3.0), 60.0, 0.0)
+        assert len(regions) == 2
+
+    def test_planes_differ_when_bounds_differ(self):
+        query = TimeSliceQuery((0.0, 50.0), (10.0, 60.0), 5.0).as_moving()
+        regions = build_query_regions(query, (3.0, 3.0), 60.0, 0.0)
+        assert regions[0].lower_at(0.0) != regions[1].lower_at(0.0)

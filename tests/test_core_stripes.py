@@ -1,0 +1,260 @@
+"""Unit and oracle-equivalence tests for the STRIPES front end
+(Sections 4.1, 4.5, 4.6): two-index rotation, update protocol, query
+refinement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.scan import ScanIndex
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.predicates import matches_with_tolerance
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=30.0)
+
+
+def random_state(rng, oid, t, config=CONFIG):
+    return MovingObjectState(
+        oid,
+        tuple(rng.uniform(0, p) for p in config.pmax),
+        tuple(rng.uniform(-v, v) for v in config.vmax),
+        t)
+
+
+def random_query(rng, now, config=CONFIG):
+    side = 30.0
+    x = rng.uniform(0, config.pmax[0] - side)
+    y = rng.uniform(0, config.pmax[1] - side)
+    lo, hi = (x, y), (x + side, y + side)
+    t1 = now + rng.uniform(0, 10)
+    kind = rng.choice(["ts", "win", "mov"])
+    if kind == "ts":
+        return TimeSliceQuery(lo, hi, t1)
+    t2 = t1 + rng.uniform(0.1, 10)
+    if kind == "win":
+        return WindowQuery(lo, hi, t1, t2)
+    dx, dy = rng.uniform(-20, 20), rng.uniform(-20, 20)
+    return MovingQuery(lo, hi, (x + dx, y + dy),
+                       (x + side + dx, y + side + dy), t1, t2)
+
+
+def assert_results_match(index, oracle, query, eps=1e-7):
+    """Result sets must agree except for objects within float-rounding
+    distance of the query boundary."""
+    got = sorted(index.query(query))
+    expected = sorted(oracle.query(query))
+    if got == expected:
+        return
+    diff = set(got).symmetric_difference(expected)
+    states = {s.oid: s for s in oracle.live_states()}
+    for oid in diff:
+        state = states[oid]
+        _, boundary = matches_with_tolerance(state, query, eps)
+        assert boundary, (
+            f"object {oid} differs and is not on the query boundary: "
+            f"{state} vs {query}")
+
+
+class TestBasicOperations:
+    def test_insert_query(self):
+        index = StripesIndex(CONFIG)
+        index.insert(MovingObjectState(7, (50.0, 50.0), (1.0, 1.0), 0.0))
+        hits = index.query(TimeSliceQuery((40.0, 40.0), (70.0, 70.0), 10.0))
+        assert hits == [7]
+
+    def test_len_counts_live_entries(self):
+        index = StripesIndex(CONFIG)
+        assert len(index) == 0
+        index.insert(MovingObjectState(1, (0.0, 0.0), (0.0, 0.0), 0.0))
+        assert len(index) == 1
+
+    def test_delete_roundtrip(self):
+        index = StripesIndex(CONFIG)
+        state = MovingObjectState(1, (10.0, 10.0), (0.5, -0.5), 3.0)
+        index.insert(state)
+        assert index.delete(state)
+        assert len(index) == 0
+
+    def test_delete_unknown_returns_false(self):
+        index = StripesIndex(CONFIG)
+        assert not index.delete(
+            MovingObjectState(1, (10.0, 10.0), (0.0, 0.0), 0.0))
+
+    def test_update_replaces_entry(self):
+        index = StripesIndex(CONFIG)
+        old = MovingObjectState(1, (10.0, 10.0), (1.0, 1.0), 0.0)
+        new = MovingObjectState(1, (20.0, 20.0), (-1.0, -1.0), 5.0)
+        index.insert(old)
+        assert index.update(old, new)
+        assert len(index) == 1
+        hits = index.query(TimeSliceQuery((14.0, 14.0), (16.0, 16.0), 10.0))
+        assert hits == [1]  # moved to 15,15 at t=10 under the new motion
+
+    def test_dimension_mismatch_rejected(self):
+        index = StripesIndex(CONFIG)
+        with pytest.raises(ValueError, match="2-d"):
+            index.insert(MovingObjectState(1, (0.0,), (0.0,), 0.0))
+        with pytest.raises(ValueError, match="2-d"):
+            index.query(TimeSliceQuery((0.0,), (1.0,), 0.0))
+
+    def test_negative_timestamp_rejected(self):
+        index = StripesIndex(CONFIG)
+        with pytest.raises(ValueError, match="non-negative"):
+            index.insert(MovingObjectState(1, (0.0, 0.0), (0.0, 0.0), -1.0))
+
+
+class TestTwoIndexRotation:
+    def test_windows_created_by_timestamp(self):
+        index = StripesIndex(CONFIG)
+        index.insert(MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0))
+        assert index.live_windows == [0]
+        index.insert(MovingObjectState(2, (1.0, 1.0), (0.0, 0.0), 35.0))
+        assert index.live_windows == [0, 1]
+
+    def test_rotation_drops_expired_window(self):
+        index = StripesIndex(CONFIG)
+        index.insert(MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0))
+        index.insert(MovingObjectState(2, (1.0, 1.0), (0.0, 0.0), 35.0))
+        index.insert(MovingObjectState(3, (1.0, 1.0), (0.0, 0.0), 65.0))
+        assert index.live_windows == [1, 2]
+        assert len(index) == 2  # object 1 expired with window 0
+
+    def test_rotation_reclaims_pages(self):
+        index = StripesIndex(CONFIG)
+        rng = random.Random(0)
+        for oid in range(300):
+            index.insert(random_state(rng, oid, rng.uniform(0, 29)))
+        pages_before = index.pages_in_use()
+        # Jump two lifetimes ahead: the first window must be destroyed.
+        for oid in range(300, 400):
+            index.insert(random_state(rng, oid, rng.uniform(60, 89)))
+        assert index.live_windows == [2]
+        assert index.pages_in_use() < pages_before
+
+    def test_update_of_expired_entry_becomes_insert(self):
+        index = StripesIndex(CONFIG)
+        old = MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0)
+        index.insert(old)
+        # Two lifetimes later the old entry is gone with its window.
+        new = MovingObjectState(1, (5.0, 5.0), (0.0, 0.0), 70.0)
+        removed = index.update(old, new)
+        assert not removed
+        assert len(index) == 1
+
+    def test_query_spans_both_windows(self):
+        index = StripesIndex(CONFIG)
+        index.insert(MovingObjectState(1, (50.0, 50.0), (0.0, 0.0), 10.0))
+        index.insert(MovingObjectState(2, (60.0, 60.0), (0.0, 0.0), 40.0))
+        hits = index.query(
+            TimeSliceQuery((40.0, 40.0), (70.0, 70.0), 45.0))
+        assert sorted(hits) == [1, 2]
+
+
+class TestRefinement:
+    def test_unrefined_is_superset(self):
+        rng = random.Random(13)
+        index = StripesIndex(CONFIG)
+        for oid in range(500):
+            index.insert(random_state(rng, oid, rng.uniform(0, 29)))
+        supersets = 0
+        for _ in range(50):
+            query = random_query(rng, now=29.0)
+            refined = set(index.query(query, refine=True))
+            raw = set(index.query(query, refine=False))
+            assert refined <= raw
+            supersets += bool(raw - refined)
+        # The separability gap must actually show up somewhere.
+        assert supersets > 0
+
+    def test_time_slice_needs_no_refinement(self):
+        rng = random.Random(14)
+        index = StripesIndex(CONFIG)
+        for oid in range(300):
+            index.insert(random_state(rng, oid, rng.uniform(0, 29)))
+        for _ in range(20):
+            x = rng.uniform(0, 170)
+            query = TimeSliceQuery((x, x), (x + 30, x + 30),
+                                   rng.uniform(29, 40))
+            assert sorted(index.query(query, refine=True)) \
+                == sorted(index.query(query, refine=False))
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_mixed_workload_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        index = StripesIndex(CONFIG)
+        oracle = ScanIndex(CONFIG.lifetime)
+        live = {}
+        now = 0.0
+        next_oid = 0
+        for step in range(150):
+            now += rng.uniform(0, 1.0)
+            action = rng.random()
+            if action < 0.45 or not live:
+                state = random_state(rng, next_oid, now)
+                index.insert(state)
+                oracle.insert(state)
+                live[next_oid] = state
+                next_oid += 1
+            elif action < 0.75:
+                oid = rng.choice(sorted(live))
+                new = random_state(rng, oid, now)
+                index.update(live[oid], new)
+                oracle.update(live[oid], new)
+                live[oid] = new
+            else:
+                query = random_query(rng, now)
+                assert_results_match(index, oracle, query)
+        assert len(index) == len(oracle)
+
+    def test_float32_mode_matches_oracle_with_tolerance(self):
+        config = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0),
+                               lifetime=30.0, float32=True)
+        rng = random.Random(15)
+        index = StripesIndex(config)
+        oracle = ScanIndex(config.lifetime)
+        live = {}
+        for oid in range(400):
+            state = random_state(rng, oid, rng.uniform(0, 29))
+            index.insert(state)
+            oracle.insert(state)
+            live[oid] = state
+        for oid in rng.sample(sorted(live), 150):
+            new = random_state(rng, oid, rng.uniform(30, 59))
+            index.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        assert len(index) == len(oracle)
+        for _ in range(40):
+            query = random_query(rng, now=59.0)
+            assert_results_match(index, oracle, query, eps=1e-3)
+
+
+class TestIntrospection:
+    def test_stats_per_window(self):
+        index = StripesIndex(CONFIG)
+        rng = random.Random(16)
+        for oid in range(100):
+            index.insert(random_state(rng, oid, rng.uniform(0, 29)))
+        for oid in range(100, 150):
+            index.insert(random_state(rng, oid, rng.uniform(30, 59)))
+        stats = index.stats()
+        assert set(stats) == {0, 1}
+        assert stats[0].entries == 100
+        assert stats[1].entries == 50
+
+    def test_flush_writes_dirty_pages(self):
+        index = StripesIndex(CONFIG)
+        index.insert(MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0))
+        index.flush()
+        assert index.pool.stats.physical_writes > 0

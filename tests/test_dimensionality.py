@@ -1,0 +1,134 @@
+"""Dimensionality generality: all three indexes against the oracle in
+d = 1 (the paper's illustrations, quadtree fanout 4) and d = 3 (fanout
+64).  The d = 2 fast paths in the quadtree must not be load-bearing."""
+
+import random
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.extensions import distance_join, knn
+from repro.query.predicates import matches_with_tolerance
+from repro.query.types import MovingObjectState, TimeSliceQuery, WindowQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTreeConfig
+
+LIFETIME = 30.0
+SIDE = 200.0
+VMAX = 3.0
+
+
+def random_state(rng, oid, d, t):
+    return MovingObjectState(
+        oid,
+        tuple(rng.uniform(0, SIDE) for _ in range(d)),
+        tuple(rng.uniform(-VMAX, VMAX) for _ in range(d)),
+        t)
+
+
+def random_query(rng, d, now):
+    side = 40.0
+    low = tuple(rng.uniform(0, SIDE - side) for _ in range(d))
+    high = tuple(l + side for l in low)
+    t1 = now + rng.uniform(0, 10)
+    if rng.random() < 0.5:
+        return TimeSliceQuery(low, high, t1)
+    return WindowQuery(low, high, t1, t1 + rng.uniform(0.1, 10))
+
+
+def check_against_oracle(index, oracle, rng, d, now, trials=30):
+    for _ in range(trials):
+        query = random_query(rng, d, now)
+        got = sorted(index.query(query))
+        expected = sorted(oracle.query(query))
+        if got != expected:
+            live = {s.oid: s for s in oracle.live_states()}
+            for oid in set(got).symmetric_difference(expected):
+                _, boundary = matches_with_tolerance(live[oid], query, 1e-7)
+                assert boundary, f"d={d}: object {oid} mismatched"
+
+
+@pytest.mark.parametrize("d", [1, 3])
+class TestStripesDimensions:
+    def test_matches_oracle(self, d):
+        rng = random.Random(100 + d)
+        index = StripesIndex(StripesConfig(
+            vmax=(VMAX,) * d, pmax=(SIDE,) * d, lifetime=LIFETIME))
+        oracle = ScanIndex(LIFETIME)
+        live = {}
+        for oid in range(400):
+            state = random_state(rng, oid, d, rng.uniform(0, LIFETIME - 1))
+            index.insert(state)
+            oracle.insert(state)
+            live[oid] = state
+        for oid in rng.sample(sorted(live), 150):
+            new = random_state(rng, oid, d,
+                               rng.uniform(LIFETIME, 2 * LIFETIME - 1))
+            index.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        assert len(index) == len(oracle)
+        check_against_oracle(index, oracle, rng, d, now=2 * LIFETIME)
+
+    def test_fanout(self, d):
+        index = StripesIndex(StripesConfig(
+            vmax=(VMAX,) * d, pmax=(SIDE,) * d, lifetime=LIFETIME))
+        index.insert(MovingObjectState(1, (1.0,) * d, (0.0,) * d, 0.0))
+        tree = next(iter(index._trees.values()))
+        assert tree.fanout == 4 ** d
+
+    def test_deletes_drain(self, d):
+        rng = random.Random(200 + d)
+        index = StripesIndex(StripesConfig(
+            vmax=(VMAX,) * d, pmax=(SIDE,) * d, lifetime=LIFETIME))
+        states = [random_state(rng, oid, d, 0.0) for oid in range(300)]
+        for state in states:
+            index.insert(state)
+        for state in states:
+            assert index.delete(state)
+        assert len(index) == 0
+
+    def test_knn_and_join(self, d):
+        rng = random.Random(300 + d)
+        index = StripesIndex(StripesConfig(
+            vmax=(VMAX,) * d, pmax=(SIDE,) * d, lifetime=LIFETIME))
+        oracle = ScanIndex(LIFETIME)
+        for oid in range(200):
+            state = random_state(rng, oid, d, 0.0)
+            index.insert(state)
+            oracle.insert(state)
+        point = (SIDE / 2,) * d
+        got = knn(index, point, t=10.0, k=5)
+        expected = knn(oracle, point, t=10.0, k=5)
+        assert [round(dist, 6) for _, dist in got] \
+            == [round(dist, 6) for _, dist in expected]
+        assert distance_join(index, index, 5.0, 10.0) \
+            == distance_join(oracle, oracle, 5.0, 10.0)
+
+
+@pytest.mark.parametrize("d", [1, 3])
+@pytest.mark.parametrize("cls", [TPRStarTree])
+class TestTPRDimensions:
+    def test_matches_oracle(self, d, cls):
+        rng = random.Random(400 + d)
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = cls(TPRTreeConfig(d=d, horizon=20.0), RecordStore(pool))
+        oracle = ScanIndex(1e12)
+        live = {}
+        for oid in range(400):
+            state = random_state(rng, oid, d, rng.uniform(0, 10))
+            tree.insert(state)
+            oracle.insert(state)
+            live[oid] = state
+        for oid in rng.sample(sorted(live), 150):
+            new = random_state(rng, oid, d, tree.now + rng.uniform(0, 1))
+            tree.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        for _ in range(30):
+            query = random_query(rng, d, now=tree.now)
+            assert sorted(tree.query(query)) == sorted(oracle.query(query))

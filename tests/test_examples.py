@@ -1,0 +1,40 @@
+"""Smoke tests that the shipped examples actually run.
+
+Only the fast examples are exercised (the fleet/air-traffic simulations
+take tens of seconds and are validated by their own CI-style runs); the
+goal here is to catch API drift that would break the documentation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "time-slice @t=60: [1]" in out
+        assert "live entries:" in out
+
+    def test_examples_exist_and_are_documented(self):
+        expected = {"quickstart.py", "fleet_monitoring.py",
+                    "air_traffic_sectors.py", "reproduce_paper.py",
+                    "ride_matching.py"}
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present
+        readme = (EXAMPLES.parent / "README.md").read_text()
+        for name in ("quickstart.py", "fleet_monitoring.py",
+                     "air_traffic_sectors.py", "reproduce_paper.py"):
+            assert name in readme, f"{name} missing from README"

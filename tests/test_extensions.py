@@ -1,0 +1,262 @@
+"""Tests for the future-work extensions: predictive kNN and distance
+joins, validated against the exact scan oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.extensions import distance_join, knn
+from repro.query.types import MovingObjectState
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTree, TPRTreeConfig
+
+PMAX = (200.0, 200.0)
+VMAX = 3.0
+LIFETIME = 60.0
+
+
+def random_state(rng, oid, t=0.0):
+    return MovingObjectState(
+        oid,
+        (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1])),
+        (rng.uniform(-VMAX, VMAX), rng.uniform(-VMAX, VMAX)),
+        t)
+
+
+def build_all(seed=31, n=400, with_updates=True):
+    """STRIPES + TPR* + scan all loaded with the same states."""
+    rng = random.Random(seed)
+    stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                         lifetime=LIFETIME))
+    pool = BufferPool(InMemoryPageFile(), capacity=4096)
+    tprstar = TPRStarTree(TPRTreeConfig(d=2, horizon=30.0),
+                          RecordStore(pool))
+    scan = ScanIndex(LIFETIME)
+    live = {}
+    for oid in range(n):
+        state = random_state(rng, oid, rng.uniform(0, 30))
+        for index in (stripes, tprstar, scan):
+            index.insert(state)
+        live[oid] = state
+    if with_updates:
+        for oid in rng.sample(sorted(live), n // 4):
+            new = random_state(rng, oid, rng.uniform(30, 59))
+            for index in (stripes, tprstar, scan):
+                index.update(live[oid], new)
+            live[oid] = new
+    return stripes, tprstar, scan, live
+
+
+def assert_valid_knn(got, expected, k):
+    """``got`` must be a valid k-nearest answer: same distances as the
+    oracle's (ties may be broken differently)."""
+    assert len(got) == len(expected) <= k
+    got_d = [d for _, d in got]
+    exp_d = [d for _, d in expected]
+    for a, b in zip(got_d, exp_d):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-7)
+    assert got_d == sorted(got_d)
+
+
+class TestKnn:
+    def test_single_object(self):
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        stripes.insert(MovingObjectState(1, (10.0, 10.0), (1.0, 0.0), 0.0))
+        result = knn(stripes, (20.0, 10.0), t=5.0, k=1)
+        assert result == [(1, pytest.approx(5.0))]  # object at (15,10)
+
+    def test_k_larger_than_population(self):
+        stripes, tprstar, scan, _ = build_all(n=5, with_updates=False)
+        for index in (stripes, tprstar, scan):
+            assert len(knn(index, (0.0, 0.0), t=60.0, k=50)) == 5
+
+    def test_invalid_k(self):
+        scan = ScanIndex(10.0)
+        with pytest.raises(ValueError):
+            knn(scan, (0.0, 0.0), t=0.0, k=0)
+
+    def test_dimension_mismatch(self):
+        stripes, tprstar, _, _ = build_all(n=5, with_updates=False)
+        with pytest.raises(ValueError):
+            knn(stripes, (0.0,), t=0.0, k=1)
+        with pytest.raises(ValueError):
+            knn(tprstar, (0.0, 0.0, 0.0), t=0.0, k=1)
+
+    def test_unsupported_index(self):
+        with pytest.raises(TypeError):
+            knn(object(), (0.0, 0.0), t=0.0, k=1)
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_oracle(self, k):
+        stripes, tprstar, scan, _ = build_all()
+        rng = random.Random(77)
+        for _ in range(15):
+            point = (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1]))
+            t = rng.uniform(60, 90)
+            expected = knn(scan, point, t, k)
+            assert_valid_knn(knn(stripes, point, t, k), expected, k)
+
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_tpr_matches_oracle(self, cls, k=8):
+        rng = random.Random(41)
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = cls(TPRTreeConfig(d=2, horizon=30.0), RecordStore(pool))
+        scan = ScanIndex(1e12)
+        for oid in range(300):
+            state = random_state(rng, oid, rng.uniform(0, 10))
+            tree.insert(state)
+            scan.insert(state)
+        for _ in range(15):
+            point = (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1]))
+            t = rng.uniform(10, 40)
+            expected = knn(scan, point, t, k)
+            assert_valid_knn(knn(tree, point, t, k), expected, k)
+
+    def test_knn_spanning_both_windows(self):
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        scan = ScanIndex(LIFETIME)
+        # One object per lifetime window, both stationary.
+        for index in (stripes, scan):
+            index.insert(MovingObjectState(1, (10.0, 10.0), (0.0, 0.0),
+                                           10.0))
+            index.insert(MovingObjectState(2, (11.0, 10.0), (0.0, 0.0),
+                                           70.0))
+        got = knn(stripes, (10.0, 10.0), t=80.0, k=2)
+        expected = knn(scan, (10.0, 10.0), t=80.0, k=2)
+        assert [oid for oid, _ in got] == [oid for oid, _ in expected]
+
+
+class TestIntervalKnn:
+    def test_interval_beats_instant(self):
+        """An object sweeping past the query point is nearer over the
+        interval than at either endpoint."""
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        # Passes exactly through (50, 50) at t=10.
+        stripes.insert(MovingObjectState(1, (40.0, 50.0), (1.0, 0.0), 0.0))
+        at_t5 = knn(stripes, (50.0, 50.0), t=5.0, k=1)[0][1]
+        over_window = knn(stripes, (50.0, 50.0), t=5.0, k=1,
+                          t_high=15.0)[0][1]
+        assert at_t5 == pytest.approx(5.0)
+        assert over_window == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_interval_equals_instant(self):
+        stripes, tprstar, scan, _ = build_all(n=150)
+        rng = random.Random(83)
+        for index in (stripes, tprstar, scan):
+            point = (100.0, 100.0)
+            instant = knn(index, point, t=65.0, k=5)
+            degenerate = knn(index, point, t=65.0, k=5, t_high=65.0)
+            assert [round(d, 9) for _, d in instant] \
+                == [round(d, 9) for _, d in degenerate]
+
+    def test_inverted_interval_rejected(self):
+        scan = ScanIndex(10.0)
+        with pytest.raises(ValueError, match="precedes"):
+            knn(scan, (0.0, 0.0), t=10.0, k=1, t_high=5.0)
+
+    @pytest.mark.parametrize("k", [1, 7])
+    def test_interval_matches_oracle(self, k):
+        stripes, tprstar, scan, _ = build_all(seed=37)
+        rng = random.Random(91)
+        for _ in range(12):
+            point = (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1]))
+            t1 = rng.uniform(60, 80)
+            t2 = t1 + rng.uniform(0, 20)
+            expected = knn(scan, point, t1, k, t_high=t2)
+            for index in (stripes, tprstar):
+                got = knn(index, point, t1, k, t_high=t2)
+                assert_valid_knn(got, expected, k)
+
+
+class TestDistanceJoin:
+    def test_simple_pair(self):
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        # Two objects converging: 10 apart at t=0, meeting at t=5.
+        stripes.insert(MovingObjectState(1, (10.0, 10.0), (1.0, 0.0), 0.0))
+        stripes.insert(MovingObjectState(2, (20.0, 10.0), (-1.0, 0.0), 0.0))
+        assert distance_join(stripes, stripes, radius=1.0, t=5.0) == [(1, 2)]
+        assert distance_join(stripes, stripes, radius=1.0, t=0.0) == []
+
+    def test_negative_radius_rejected(self):
+        scan = ScanIndex(10.0)
+        with pytest.raises(ValueError):
+            distance_join(scan, scan, radius=-1.0, t=0.0)
+
+    def test_mixed_families_rejected(self):
+        stripes, tprstar, _, _ = build_all(n=5, with_updates=False)
+        with pytest.raises(TypeError):
+            distance_join(stripes, tprstar, radius=1.0, t=0.0)
+
+    @pytest.mark.parametrize("radius", [2.0, 8.0])
+    def test_stripes_self_join_matches_oracle(self, radius):
+        stripes, _, scan, _ = build_all(n=250)
+        for t in (60.0, 75.0):
+            expected = distance_join(scan, scan, radius, t)
+            got = distance_join(stripes, stripes, radius, t)
+            assert got == expected
+
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_tpr_self_join_matches_oracle(self, cls):
+        rng = random.Random(53)
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = cls(TPRTreeConfig(d=2, horizon=30.0), RecordStore(pool))
+        scan = ScanIndex(1e12)
+        for oid in range(250):
+            state = random_state(rng, oid, rng.uniform(0, 10))
+            tree.insert(state)
+            scan.insert(state)
+        for t in (15.0, 30.0):
+            expected = distance_join(scan, scan, 5.0, t)
+            got = distance_join(tree, tree, 5.0, t)
+            assert got == expected
+
+    def test_cross_index_join_matches_oracle(self):
+        rng = random.Random(61)
+        config = StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                               lifetime=LIFETIME)
+        left = StripesIndex(config)
+        right = StripesIndex(config)
+        scan_left = ScanIndex(LIFETIME)
+        scan_right = ScanIndex(LIFETIME)
+        for oid in range(120):
+            state = random_state(rng, oid)
+            left.insert(state)
+            scan_left.insert(state)
+        for oid in range(1000, 1120):
+            state = random_state(rng, oid)
+            right.insert(state)
+            scan_right.insert(state)
+        expected = distance_join(scan_left, scan_right, 6.0, 20.0)
+        got = distance_join(left, right, 6.0, 20.0)
+        assert got == expected
+
+    def test_join_spanning_windows(self):
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        scan = ScanIndex(LIFETIME)
+        for index in (stripes, scan):
+            index.insert(MovingObjectState(1, (50.0, 50.0), (0.0, 0.0),
+                                           10.0))
+            index.insert(MovingObjectState(2, (51.0, 50.0), (0.0, 0.0),
+                                           70.0))
+            index.insert(MovingObjectState(3, (150.0, 150.0), (0.0, 0.0),
+                                           70.0))
+        assert distance_join(stripes, stripes, 2.0, 80.0) \
+            == distance_join(scan, scan, 2.0, 80.0) == [(1, 2)]
+
+    def test_zero_radius_exact_meeting(self):
+        stripes = StripesIndex(StripesConfig(vmax=(VMAX, VMAX), pmax=PMAX,
+                                             lifetime=LIFETIME))
+        stripes.insert(MovingObjectState(1, (0.0, 0.0), (1.0, 1.0), 0.0))
+        stripes.insert(MovingObjectState(2, (10.0, 10.0), (-1.0, -1.0), 0.0))
+        assert distance_join(stripes, stripes, 0.0, 5.0) == [(1, 2)]

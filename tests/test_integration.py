@@ -1,0 +1,175 @@
+"""Integration tests: every index against the exact oracle on generated
+workloads, cross-index agreement, and on-disk persistence."""
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.bench.runner import DEFAULT_LIFETIME
+from repro.core.quadtree import QuadTreeConfig
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.predicates import matches_with_tolerance
+from repro.query.types import TimeSliceQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile, OnDiskPageFile
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTree, TPRTreeConfig
+from repro.workload.generator import WorkloadSpec, generate_workload
+from repro.workload.operations import QueryOp, UpdateOp
+
+
+def replay(index, oracle, workload, check_queries=True, eps=1e-7):
+    """Replay a workload against an index and the oracle in lockstep,
+    checking every query result (modulo boundary rounding)."""
+    states = {}
+    for state in workload.initial:
+        index.insert(state)
+        oracle.insert(state)
+        states[state.oid] = state
+    for op in workload.operations:
+        if isinstance(op, UpdateOp):
+            index.update(op.old, op.new)
+            oracle.update(op.old, op.new)
+            states[op.new.oid] = op.new
+        elif isinstance(op, QueryOp) and check_queries:
+            got = sorted(index.query(op.query))
+            expected = sorted(oracle.query(op.query))
+            if got != expected:
+                diff = set(got).symmetric_difference(expected)
+                live = {s.oid: s for s in oracle.live_states()}
+                for oid in diff:
+                    _, boundary = matches_with_tolerance(
+                        live[oid], op.query, eps)
+                    assert boundary, (
+                        f"{type(index).__name__}: object {oid} mismatched "
+                        f"and is not on the query boundary")
+
+
+@pytest.fixture(scope="module")
+def uniform_workload():
+    return generate_workload(WorkloadSpec(
+        n_objects=800, update_fraction=0.5, n_operations=400, seed=99))
+
+
+@pytest.fixture(scope="module")
+def skewed_workload():
+    return generate_workload(WorkloadSpec(
+        n_objects=800, update_fraction=0.5, n_operations=400, seed=100,
+        nd=10))
+
+
+class TestOracleEquivalenceOnGeneratedWorkloads:
+    def test_stripes_uniform(self, uniform_workload):
+        index = StripesIndex(StripesConfig(
+            vmax=uniform_workload.vmax, pmax=uniform_workload.pmax,
+            lifetime=DEFAULT_LIFETIME))
+        replay(index, ScanIndex(DEFAULT_LIFETIME), uniform_workload)
+
+    def test_stripes_skewed(self, skewed_workload):
+        index = StripesIndex(StripesConfig(
+            vmax=skewed_workload.vmax, pmax=skewed_workload.pmax,
+            lifetime=DEFAULT_LIFETIME))
+        replay(index, ScanIndex(DEFAULT_LIFETIME), skewed_workload)
+
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_tpr_uniform(self, cls, uniform_workload):
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = cls(TPRTreeConfig(d=2, horizon=60.0), RecordStore(pool))
+        replay(tree, ScanIndex(1e12), uniform_workload)
+
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_tpr_skewed(self, cls, skewed_workload):
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = cls(TPRTreeConfig(d=2, horizon=60.0), RecordStore(pool))
+        replay(tree, ScanIndex(1e12), skewed_workload)
+
+    def test_stripes_tiny_pool_still_exact(self, uniform_workload):
+        """Heavy eviction pressure must not change any result."""
+        pool = BufferPool(InMemoryPageFile(), capacity=8)
+        index = StripesIndex(StripesConfig(
+            vmax=uniform_workload.vmax, pmax=uniform_workload.pmax,
+            lifetime=DEFAULT_LIFETIME), pool)
+        replay(index, ScanIndex(DEFAULT_LIFETIME), uniform_workload)
+        assert pool.stats.evictions > 0
+
+    def test_tprstar_tiny_pool_still_exact(self, uniform_workload):
+        pool = BufferPool(InMemoryPageFile(), capacity=8)
+        tree = TPRStarTree(TPRTreeConfig(d=2, horizon=60.0),
+                           RecordStore(pool))
+        replay(tree, ScanIndex(1e12), uniform_workload)
+        assert pool.stats.evictions > 0
+
+    def test_stripes_max_depth_one_still_exact(self, uniform_workload):
+        """A pathological depth limit forces overflow chains everywhere;
+        results must be unchanged."""
+        index = StripesIndex(StripesConfig(
+            vmax=uniform_workload.vmax, pmax=uniform_workload.pmax,
+            lifetime=DEFAULT_LIFETIME,
+            quadtree=QuadTreeConfig(max_depth=1)))
+        replay(index, ScanIndex(DEFAULT_LIFETIME), uniform_workload)
+
+
+class TestOnDiskPersistence:
+    def test_stripes_over_real_file(self, tmp_path, uniform_workload):
+        pagefile = OnDiskPageFile(tmp_path / "stripes.db")
+        pool = BufferPool(pagefile, capacity=64)
+        index = StripesIndex(StripesConfig(
+            vmax=uniform_workload.vmax, pmax=uniform_workload.pmax,
+            lifetime=DEFAULT_LIFETIME), pool)
+        replay(index, ScanIndex(DEFAULT_LIFETIME), uniform_workload,
+               check_queries=True)
+        index.flush()
+        assert (tmp_path / "stripes.db").stat().st_size > 0
+        pagefile.close()
+
+    def test_page_images_survive_flush_cycle(self, tmp_path):
+        """Flush everything, drop the pool, re-read pages raw: the stored
+        bytes deserialize back to the same entries."""
+        from repro.query.types import MovingObjectState
+        pagefile = OnDiskPageFile(tmp_path / "cycle.db")
+        pool = BufferPool(pagefile, capacity=64)
+        config = StripesConfig(vmax=(3.0, 3.0), pmax=(100.0, 100.0),
+                               lifetime=30.0)
+        index = StripesIndex(config, pool)
+        for oid in range(50):
+            index.insert(MovingObjectState(
+                oid, (float(oid), float(oid)), (0.1, -0.1), 0.0))
+        before = sorted(index.query(
+            TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 0.0)))
+        index.flush()
+        pool.clear()
+        after = sorted(index.query(
+            TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 0.0)))
+        assert before == after == list(range(50))
+        assert pool.stats.physical_reads > 0  # really re-read from disk
+        pagefile.close()
+
+
+class TestCrossIndexAgreement:
+    def test_all_indexes_same_answers_when_nothing_expires(self):
+        """With every update inside one lifetime window, STRIPES never
+        expires anything and all four implementations must agree exactly
+        on every query."""
+        workload = generate_workload(WorkloadSpec(
+            n_objects=600, update_fraction=0.5, n_operations=300,
+            duration=50.0, seed=123))
+        stripes = StripesIndex(StripesConfig(
+            vmax=workload.vmax, pmax=workload.pmax, lifetime=1e9))
+        pool1 = BufferPool(InMemoryPageFile(), capacity=4096)
+        tpr = TPRTree(TPRTreeConfig(d=2, horizon=60.0), RecordStore(pool1))
+        pool2 = BufferPool(InMemoryPageFile(), capacity=4096)
+        tprstar = TPRStarTree(TPRTreeConfig(d=2, horizon=60.0),
+                              RecordStore(pool2))
+        scan = ScanIndex(1e9)
+        indexes = [stripes, tpr, tprstar, scan]
+        for state in workload.initial:
+            for index in indexes:
+                index.insert(state)
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                for index in indexes:
+                    index.update(op.old, op.new)
+            else:
+                answers = [sorted(index.query(op.query))
+                           for index in indexes]
+                assert answers[0] == answers[1] == answers[2] == answers[3]

@@ -1,0 +1,151 @@
+"""Targeted tests for corners not covered elsewhere: TPR float32 mode,
+custom quadtree collapse thresholds, workload ordering helpers, and
+report rendering with degenerate inputs."""
+
+import random
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.bench.report import format_table, render_batches
+from repro.bench.runner import RunResult
+from repro.core.dual import DualPoint, DualSpace
+from repro.core.quadtree import DualQuadTree, QuadTreeConfig
+from repro.query.predicates import matches_with_tolerance
+from repro.query.types import MovingObjectState, TimeSliceQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.storage.stats import DiskModel
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTreeConfig
+from repro.workload.operations import QueryOp, Workload
+
+
+class TestTPRFloat32:
+    def test_float32_tree_matches_oracle_with_tolerance(self):
+        rng = random.Random(71)
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        tree = TPRStarTree(
+            TPRTreeConfig(d=2, horizon=30.0, float32=True,
+                          delete_eps=1e-4),
+            RecordStore(pool))
+        oracle = ScanIndex(1e12)
+        live = {}
+        for oid in range(400):
+            state = MovingObjectState(
+                oid, (rng.uniform(0, 200), rng.uniform(0, 200)),
+                (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                rng.uniform(0, 10))
+            tree.insert(state)
+            oracle.insert(state)
+            live[oid] = state
+        for oid in rng.sample(sorted(live), 150):
+            new = MovingObjectState(
+                oid, (rng.uniform(0, 200), rng.uniform(0, 200)),
+                (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                tree.now + rng.uniform(0, 1))
+            tree.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        assert len(tree) == len(oracle)
+        for _ in range(30):
+            x = rng.uniform(0, 160)
+            query = TimeSliceQuery((x, x), (x + 40, x + 40),
+                                   tree.now + rng.uniform(0, 20))
+            got = sorted(tree.query(query))
+            expected = sorted(oracle.query(query))
+            if got != expected:
+                for oid in set(got).symmetric_difference(expected):
+                    _, boundary = matches_with_tolerance(
+                        live[oid], query, 1e-3)
+                    assert boundary
+
+    def test_float32_capacity_larger(self):
+        pool = BufferPool(InMemoryPageFile(), capacity=64)
+        narrow = TPRStarTree(TPRTreeConfig(d=2, float32=True),
+                             RecordStore(pool))
+        pool2 = BufferPool(InMemoryPageFile(), capacity=64)
+        wide = TPRStarTree(TPRTreeConfig(d=2, float32=False),
+                           RecordStore(pool2))
+        assert narrow.leaf_capacity > wide.leaf_capacity
+
+
+class TestCollapseThreshold:
+    SPACE = DualSpace(vmax=(3.0, 3.0), pmax=(100.0, 100.0), lifetime=10.0)
+
+    def _tree(self, collapse_capacity):
+        pool = BufferPool(InMemoryPageFile(), capacity=4096)
+        return DualQuadTree(
+            self.SPACE, RecordStore(pool),
+            QuadTreeConfig(collapse_capacity=collapse_capacity))
+
+    def test_zero_threshold_never_collapses(self):
+        tree = self._tree(collapse_capacity=0)
+        rng = random.Random(81)
+        points = [DualPoint(
+            oid,
+            tuple(rng.uniform(0, e) for e in self.SPACE.velocity_extent),
+            tuple(rng.uniform(0, e) for e in self.SPACE.position_extent))
+            for oid in range(500)]
+        for point in points:
+            tree.insert(point)
+        assert tree.stats().nonleaf_nodes > 0
+        for point in points[:-2]:
+            assert tree.delete(point)
+        # With a zero threshold the skeleton of non-leaf nodes remains.
+        assert tree.stats().nonleaf_nodes > 0
+        assert tree.count == 2
+
+    def test_aggressive_threshold_collapses_early(self):
+        tree = self._tree(collapse_capacity=10_000)
+        rng = random.Random(82)
+        points = [DualPoint(
+            oid,
+            tuple(rng.uniform(0, e) for e in self.SPACE.velocity_extent),
+            tuple(rng.uniform(0, e) for e in self.SPACE.position_extent))
+            for oid in range(400)]
+        for point in points:
+            tree.insert(point)
+        before = tree.stats()
+        # Any delete triggers a root collapse-and-rebuild: entries exceed
+        # one leaf, so the rebuild is a compact subtree, not a leaf.
+        assert tree.delete(points[0])
+        stats = tree.stats()
+        assert stats.nonleaf_nodes <= before.nonleaf_nodes
+        assert tree.count == 399
+        assert sorted(e.oid for e in tree.all_entries()) \
+            == sorted(p.oid for p in points[1:])
+        # Further deletes keep draining correctly through rebuilds.
+        for point in points[1:100]:
+            assert tree.delete(point)
+        assert tree.count == 300
+
+
+class TestWorkloadHelpers:
+    def test_check_ordered_detects_disorder(self):
+        early = QueryOp(TimeSliceQuery((0.0,), (1.0,), 5.0), issued_at=5.0)
+        late = QueryOp(TimeSliceQuery((0.0,), (1.0,), 9.0), issued_at=9.0)
+        assert Workload(initial=[], operations=[early, late]).check_ordered()
+        assert not Workload(initial=[],
+                            operations=[late, early]).check_ordered()
+
+
+class TestReportEdgeCases:
+    def test_empty_table(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_batches_with_uneven_lengths(self):
+        from repro.bench.runner import BatchCost
+        short = RunResult("short")
+        short.batches = [BatchCost(index=0, ops=10, cpu_seconds=0.1)]
+        long = RunResult("long")
+        long.batches = [BatchCost(index=0, ops=10, cpu_seconds=0.1),
+                        BatchCost(index=1, ops=10, cpu_seconds=0.2)]
+        text = render_batches("t", {"short": short, "long": long},
+                              DiskModel())
+        assert "-" in text  # the missing batch renders as a dash
+
+    def test_batches_with_no_results(self):
+        assert "batch" in render_batches("t", {}, DiskModel())

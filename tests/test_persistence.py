@@ -1,0 +1,146 @@
+"""Checkpoint/reopen tests: a saved on-disk index must answer identically
+after being reloaded in a fresh process-like context."""
+
+import random
+
+import pytest
+
+from repro.baselines.scan import ScanIndex
+from repro.core.persistence import save_index, load_index
+from repro.core.quadtree import QuadTreeConfig
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.types import MovingObjectState, TimeSliceQuery, WindowQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import OnDiskPageFile
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=30.0)
+
+
+def random_state(rng, oid, t):
+    return MovingObjectState(
+        oid,
+        (rng.uniform(0, 200.0), rng.uniform(0, 200.0)),
+        (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+        t)
+
+
+def build_on_disk(tmp_path, seed=1, n=600, config=CONFIG):
+    rng = random.Random(seed)
+    path = tmp_path / "index.stripes"
+    pagefile = OnDiskPageFile(path)
+    pool = BufferPool(pagefile, capacity=128)
+    index = StripesIndex(config, pool)
+    oracle = ScanIndex(config.lifetime)
+    live = {}
+    for oid in range(n):
+        state = random_state(rng, oid, rng.uniform(0, 29))
+        index.insert(state)
+        oracle.insert(state)
+        live[oid] = state
+    for oid in rng.sample(sorted(live), n // 3):
+        new = random_state(rng, oid, rng.uniform(30, 59))
+        index.update(live[oid], new)
+        oracle.update(live[oid], new)
+        live[oid] = new
+    return path, pagefile, index, oracle, live, rng
+
+
+class TestCheckpointRoundTrip:
+    def test_reopened_index_answers_identically(self, tmp_path):
+        path, pagefile, index, oracle, live, rng = build_on_disk(tmp_path)
+        meta = tmp_path / "index.meta"
+        save_index(index, meta)
+        pagefile.close()
+
+        reopened = load_index(path, meta, pool_pages=128)
+        assert len(reopened) == len(index)
+        assert reopened.live_windows == index.live_windows
+        for _ in range(30):
+            x = rng.uniform(0, 160)
+            t1 = rng.uniform(59, 70)
+            query = WindowQuery((x, x), (x + 40, x + 40), t1, t1 + 10)
+            assert sorted(reopened.query(query)) \
+                == sorted(oracle.query(query))
+        reopened.pool.pagefile.close()
+
+    def test_reopened_index_accepts_updates(self, tmp_path):
+        path, pagefile, index, oracle, live, rng = build_on_disk(tmp_path)
+        meta = tmp_path / "index.meta"
+        save_index(index, meta)
+        pagefile.close()
+
+        reopened = load_index(path, meta, pool_pages=128)
+        for oid in rng.sample(sorted(live), 100):
+            new = random_state(rng, oid, rng.uniform(30, 59))
+            reopened.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        for oid in rng.sample(sorted(live), 50):
+            assert reopened.delete(live[oid]) == oracle.delete(live[oid])
+            del live[oid]
+        assert len(reopened) == len(oracle)
+        for _ in range(20):
+            x = rng.uniform(0, 160)
+            query = TimeSliceQuery((x, x), (x + 40, x + 40),
+                                   rng.uniform(59, 80))
+            assert sorted(reopened.query(query)) \
+                == sorted(oracle.query(query))
+        reopened.pool.pagefile.close()
+
+    def test_free_pages_are_reused_after_reopen(self, tmp_path):
+        path, pagefile, index, oracle, live, rng = build_on_disk(tmp_path)
+        meta = tmp_path / "index.meta"
+        # Delete most entries to free pages, then checkpoint.
+        for oid in sorted(live)[:500]:
+            index.delete(live.pop(oid))
+        save_index(index, meta)
+        capacity_before = pagefile.capacity_pages
+        pagefile.close()
+
+        reopened = load_index(path, meta, pool_pages=128)
+        for oid in range(10_000, 10_400):
+            state = random_state(rng, oid, rng.uniform(30, 59))
+            reopened.insert(state)
+        # Re-inserting into freed space must not grow the file much.
+        assert reopened.pool.pagefile.capacity_pages \
+            <= capacity_before + 8
+        reopened.pool.pagefile.close()
+
+    def test_config_round_trips(self, tmp_path):
+        config = StripesConfig(
+            vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=45.0,
+            float32=True,
+            quadtree=QuadTreeConfig(max_depth=12,
+                                    leaf_size_ladder=(505, 1011, 4091)))
+        path, pagefile, index, _, _, _ = build_on_disk(
+            tmp_path, n=100, config=config)
+        meta = tmp_path / "index.meta"
+        save_index(index, meta)
+        pagefile.close()
+        reopened = load_index(path, meta, pool_pages=64)
+        assert reopened.config == config
+        reopened.pool.pagefile.close()
+
+    def test_format_version_checked(self, tmp_path):
+        path, pagefile, index, _, _, _ = build_on_disk(tmp_path, n=50)
+        meta = tmp_path / "index.meta"
+        save_index(index, meta)
+        pagefile.close()
+        import json
+        blob = json.loads(meta.read_text())
+        blob["format"] = 999
+        meta.write_text(json.dumps(blob))
+        with pytest.raises(ValueError, match="format"):
+            load_index(path, meta)
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        path, pagefile, index, _, _, _ = build_on_disk(tmp_path, n=50)
+        meta = tmp_path / "index.meta"
+        save_index(index, meta)
+        pagefile.close()
+        import json
+        blob = json.loads(meta.read_text())
+        blob["page_size"] = 8192
+        meta.write_text(json.dumps(blob))
+        with pytest.raises(ValueError, match="page size|truncated"):
+            load_index(path, meta)

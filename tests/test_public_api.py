@@ -1,0 +1,74 @@
+"""The public API surface: everything the README promises must import and
+work from the top-level package."""
+
+import repro
+from repro import (
+    MovingObjectState,
+    MovingQuery,
+    QuadTreeConfig,
+    ScanIndex,
+    StripesConfig,
+    StripesIndex,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+
+class TestExports:
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.bench
+        import repro.core
+        import repro.query
+        import repro.storage
+        import repro.tpr
+        import repro.workload
+        assert repro.tpr.TPRStarTree
+        assert repro.workload.generate_workload
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_flow(self):
+        index = StripesIndex(StripesConfig(vmax=(3.0, 3.0),
+                                           pmax=(1000.0, 1000.0),
+                                           lifetime=120.0))
+        index.insert(MovingObjectState(oid=1, pos=(100.0, 200.0),
+                                       vel=(1.5, -2.0), t=0.0))
+        hits = index.query(TimeSliceQuery((0.0, 0.0), (500.0, 500.0),
+                                          t=60.0))
+        assert hits == [1]
+
+    def test_all_query_types_accepted(self):
+        index = StripesIndex(StripesConfig(vmax=(3.0, 3.0),
+                                           pmax=(100.0, 100.0),
+                                           lifetime=60.0))
+        index.insert(MovingObjectState(1, (50.0, 50.0), (0.0, 0.0), 0.0))
+        queries = [
+            TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 5.0),
+            WindowQuery((0.0, 0.0), (100.0, 100.0), 5.0, 10.0),
+            MovingQuery((0.0, 0.0), (100.0, 100.0),
+                        (10.0, 10.0), (110.0, 110.0), 5.0, 10.0),
+        ]
+        for query in queries:
+            assert index.query(query) == [1]
+
+    def test_custom_quadtree_config(self):
+        config = StripesConfig(vmax=(3.0, 3.0), pmax=(100.0, 100.0),
+                               lifetime=60.0,
+                               quadtree=QuadTreeConfig(max_depth=5,
+                                                       use_small_leaves=False))
+        index = StripesIndex(config)
+        index.insert(MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0))
+        assert len(index) == 1
+
+    def test_scan_index_exported_interface(self):
+        scan = ScanIndex(lifetime=60.0)
+        scan.insert(MovingObjectState(1, (1.0, 1.0), (0.0, 0.0), 0.0))
+        assert scan.query(TimeSliceQuery((0.0, 0.0), (2.0, 2.0), 0.0)) == [1]

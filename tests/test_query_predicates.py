@@ -1,0 +1,172 @@
+"""Unit and property tests for the exact matching predicates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicates import (
+    MovingQueryEvaluator,
+    intersect_intervals,
+    linear_nonneg_interval,
+    match_interval,
+    matches,
+    matches_with_tolerance,
+    trajectory_match_interval,
+)
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                   allow_infinity=False)
+
+
+class TestLinearInterval:
+    def test_constant_true(self):
+        assert linear_nonneg_interval(1.0, 0.0, 0.0, 5.0) == (0.0, 5.0)
+
+    def test_constant_false(self):
+        assert linear_nonneg_interval(-1.0, 0.0, 0.0, 5.0) is None
+
+    def test_increasing(self):
+        assert linear_nonneg_interval(-2.0, 1.0, 0.0, 5.0) == (2.0, 5.0)
+
+    def test_decreasing(self):
+        assert linear_nonneg_interval(2.0, -1.0, 0.0, 5.0) == (0.0, 2.0)
+
+    def test_empty_when_root_outside(self):
+        assert linear_nonneg_interval(-10.0, 1.0, 0.0, 5.0) is None
+
+    def test_inverted_range(self):
+        assert linear_nonneg_interval(1.0, 0.0, 5.0, 0.0) is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=finite, b=finite,
+           t1=st.floats(min_value=0, max_value=100),
+           width=st.floats(min_value=0, max_value=100))
+    def test_interval_is_exact(self, a, b, t1, width):
+        """Every point inside the returned interval satisfies the
+        inequality; midpoints outside do not (up to float noise)."""
+        t2 = t1 + width
+        interval = linear_nonneg_interval(a, b, t1, t2)
+        if interval is None:
+            mid = (t1 + t2) / 2
+            assert a + b * mid < 1e-6 * (1 + abs(a) + abs(b) * abs(mid))
+        else:
+            lo, hi = interval
+            assert t1 <= lo <= hi <= t2
+            for t in (lo, hi, (lo + hi) / 2):
+                assert a + b * t >= -1e-6 * (1 + abs(a) + abs(b) * abs(t))
+
+
+class TestIntersectIntervals:
+    def test_any_none_gives_none(self):
+        assert intersect_intervals([(0, 1), None]) is None
+
+    def test_disjoint_gives_none(self):
+        assert intersect_intervals([(0, 1), (2, 3)]) is None
+
+    def test_overlapping(self):
+        assert intersect_intervals([(0, 5), (3, 8)]) == (3, 5)
+
+    def test_empty_list_is_unbounded(self):
+        lo, hi = intersect_intervals([])
+        assert lo == -math.inf and hi == math.inf
+
+
+class TestMatches:
+    def test_time_slice_hit(self):
+        obj = MovingObjectState(1, (0.0, 0.0), (1.0, 1.0), 0.0)
+        assert matches(obj, TimeSliceQuery((4.0, 4.0), (6.0, 6.0), 5.0))
+
+    def test_time_slice_miss(self):
+        obj = MovingObjectState(1, (0.0, 0.0), (1.0, 1.0), 0.0)
+        assert not matches(obj, TimeSliceQuery((4.0, 4.0), (6.0, 6.0), 9.0))
+
+    def test_window_crossing_object(self):
+        # Fast object crosses the window mid-interval: in at some t even
+        # though it is outside at both endpoints.
+        obj = MovingObjectState(1, (0.0,), (5.0,), 0.0)
+        assert matches(obj, WindowQuery((10.0,), (11.0,), 0.0, 10.0))
+
+    def test_window_requires_common_instant(self):
+        # In x-range early, in y-range late, never both: no match.
+        obj = MovingObjectState(1, (0.0, 100.0), (10.0, -10.0), 0.0)
+        query = WindowQuery((0.0, 0.0), (10.0, 10.0), 0.0, 10.0)
+        interval_x = linear_nonneg_interval(0.0 - 0.0, 10.0, 0.0, 10.0)
+        assert interval_x is not None
+        assert not matches(obj, query)
+
+    def test_moving_query_follows_object(self):
+        obj = MovingObjectState(1, (0.0, 0.0), (1.0, 0.0), 0.0)
+        chasing = MovingQuery((0.0, -1.0), (1.0, 1.0),
+                              (10.0, -1.0), (11.0, 1.0), 0.0, 10.0)
+        assert matches(obj, chasing)
+
+    def test_stationary_object_in_static_window(self):
+        obj = MovingObjectState(1, (5.0,), (0.0,), 0.0)
+        assert matches(obj, WindowQuery((4.0,), (6.0,), 100.0, 200.0))
+
+    def test_match_interval_endpoints(self):
+        obj = MovingObjectState(1, (0.0,), (1.0,), 0.0)
+        interval = match_interval(obj, WindowQuery((5.0,), (7.0,), 0.0, 100.0))
+        assert interval == (5.0, 7.0)
+
+
+class TestEvaluatorEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data())
+    def test_evaluator_matches_interval_form(self, data):
+        """MovingQueryEvaluator agrees with trajectory_match_interval on
+        random trajectories and queries."""
+        d = data.draw(st.integers(min_value=1, max_value=3), label="d")
+        coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+        p0 = data.draw(st.tuples(*[coords] * d), label="p0")
+        pv = data.draw(st.tuples(*[coords] * d), label="pv")
+        t1 = data.draw(st.floats(min_value=0, max_value=50), label="t1")
+        dt = data.draw(st.floats(min_value=0, max_value=50), label="dt")
+        low1 = data.draw(st.tuples(*[coords] * d), label="low1")
+        ext = st.floats(min_value=0, max_value=50, allow_nan=False)
+        sides1 = data.draw(st.tuples(*[ext] * d), label="sides1")
+        if t1 + dt == t1:  # degenerate moving queries must not change shape
+            low2, sides2 = low1, sides1
+        else:
+            low2 = data.draw(st.tuples(*[coords] * d), label="low2")
+            sides2 = data.draw(st.tuples(*[ext] * d), label="sides2")
+        query = MovingQuery(
+            low1, tuple(l + s for l, s in zip(low1, sides1)),
+            low2, tuple(l + s for l, s in zip(low2, sides2)),
+            t1, t1 + dt)
+        via_interval = trajectory_match_interval(p0, pv, query) is not None
+        via_evaluator = MovingQueryEvaluator(query).matches_trajectory(p0, pv)
+        assert via_interval == via_evaluator
+
+    def test_matches_state_agrees_with_matches(self):
+        obj = MovingObjectState(1, (3.0, 4.0), (-1.0, 2.0), 2.0)
+        query = WindowQuery((0.0, 0.0), (5.0, 5.0), 3.0, 6.0)
+        assert (MovingQueryEvaluator(query).matches_state(obj)
+                == matches(obj, query))
+
+
+class TestTolerance:
+    def test_interior_object_not_boundary(self):
+        obj = MovingObjectState(1, (5.0,), (0.0,), 0.0)
+        matched, boundary = matches_with_tolerance(
+            obj, WindowQuery((0.0,), (10.0,), 0.0, 1.0), eps=1e-9)
+        assert matched and not boundary
+
+    def test_edge_object_is_boundary(self):
+        obj = MovingObjectState(1, (10.0,), (0.0,), 0.0)
+        matched, boundary = matches_with_tolerance(
+            obj, WindowQuery((0.0,), (10.0,), 0.0, 1.0), eps=1e-9)
+        assert matched and boundary
+
+    def test_far_object_not_boundary(self):
+        obj = MovingObjectState(1, (50.0,), (0.0,), 0.0)
+        matched, boundary = matches_with_tolerance(
+            obj, WindowQuery((0.0,), (10.0,), 0.0, 1.0), eps=1e-9)
+        assert not matched and not boundary

@@ -1,0 +1,74 @@
+"""Unit tests for moving-object states and query types."""
+
+import pytest
+
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+
+
+class TestMovingObjectState:
+    def test_position_extrapolation(self):
+        obj = MovingObjectState(1, (10.0, 20.0), (1.0, -2.0), t=5.0)
+        assert obj.position_at(8.0) == (13.0, 14.0)
+
+    def test_position_backwards(self):
+        obj = MovingObjectState(1, (10.0,), (2.0,), t=5.0)
+        assert obj.position_at(0.0) == (0.0,)
+
+    def test_dimensionality(self):
+        assert MovingObjectState(1, (0.0, 0.0), (0.0, 0.0), 0.0).d == 2
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError, match="velocity"):
+            MovingObjectState(1, (0.0, 0.0), (0.0,), 0.0)
+
+
+class TestQueryValidation:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="exceeds upper"):
+            TimeSliceQuery((5.0,), (1.0,), 0.0)
+
+    def test_inverted_time_rejected(self):
+        with pytest.raises(ValueError, match="t_low"):
+            WindowQuery((0.0,), (1.0,), t_low=5.0, t_high=1.0)
+        with pytest.raises(ValueError, match="t_low"):
+            MovingQuery((0.0,), (1.0,), (0.0,), (1.0,), 5.0, 1.0)
+
+    def test_mismatched_rect_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MovingQuery((0.0,), (1.0,), (0.0, 0.0), (1.0, 1.0), 0.0, 1.0)
+
+
+class TestCanonicalisation:
+    def test_time_slice_as_moving(self):
+        ts = TimeSliceQuery((0.0, 0.0), (1.0, 1.0), 7.0)
+        moving = ts.as_moving()
+        assert moving.low1 == moving.low2 == (0.0, 0.0)
+        assert moving.high1 == moving.high2 == (1.0, 1.0)
+        assert moving.t_low == moving.t_high == 7.0
+
+    def test_window_as_moving(self):
+        win = WindowQuery((0.0,), (1.0,), 2.0, 5.0)
+        moving = win.as_moving()
+        assert moving.low1 == moving.low2 == (0.0,)
+        assert (moving.t_low, moving.t_high) == (2.0, 5.0)
+
+    def test_moving_as_moving_is_identity(self):
+        mq = MovingQuery((0.0,), (1.0,), (2.0,), (3.0,), 0.0, 1.0)
+        assert mq.as_moving() is mq
+
+
+class TestBoundsAt:
+    def test_interpolates_linearly(self):
+        mq = MovingQuery((0.0,), (10.0,), (100.0,), (110.0,), 0.0, 10.0)
+        low, high = mq.bounds_at(5.0)
+        assert low == (50.0,)
+        assert high == (60.0,)
+
+    def test_degenerate_time_range(self):
+        mq = MovingQuery((0.0,), (10.0,), (0.0,), (10.0,), 3.0, 3.0)
+        assert mq.bounds_at(3.0) == ((0.0,), (10.0,))

@@ -1,0 +1,203 @@
+"""Fault-injection tests for the double-write checkpoint journal: torn
+journals, torn page-file flushes, and full crash-recovery cycles."""
+
+import os
+import random
+
+import pytest
+
+from repro.core.persistence import load_index, save_index
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.types import MovingObjectState, TimeSliceQuery
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.journal import (
+    JournalError,
+    atomic_flush,
+    read_journal,
+    recover,
+    write_journal,
+)
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pagefile import OnDiskPageFile
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(100.0, 100.0), lifetime=30.0)
+
+
+def image(fill: int) -> bytes:
+    return bytes([fill]) * PAGE_SIZE
+
+
+class TestJournalFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        pages = {0: image(1), 5: image(2), 3: image(3)}
+        write_journal(path, pages, PAGE_SIZE)
+        assert read_journal(path, PAGE_SIZE) == pages
+
+    def test_empty_journal(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, {}, PAGE_SIZE)
+        assert read_journal(path, PAGE_SIZE) == {}
+
+    def test_wrong_image_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="bytes"):
+            write_journal(tmp_path / "j", {0: b"short"}, PAGE_SIZE)
+
+    def test_truncated_journal_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, {0: image(1), 1: image(2)}, PAGE_SIZE)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(JournalError, match="truncated|short"):
+            read_journal(path, PAGE_SIZE)
+
+    def test_missing_commit_marker_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, {0: image(1)}, PAGE_SIZE)
+        raw = bytearray(path.read_bytes())
+        raw[-8:] = b"XXXXXXXX"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(JournalError, match="commit marker"):
+            read_journal(path, PAGE_SIZE)
+
+    def test_corrupt_body_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, {0: image(1)}, PAGE_SIZE)
+        raw = bytearray(path.read_bytes())
+        raw[50] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(JournalError, match="checksum"):
+            read_journal(path, PAGE_SIZE)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(b"NOTAMAGIC" + b"\x00" * 100)
+        with pytest.raises(JournalError, match="magic"):
+            read_journal(path, PAGE_SIZE)
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, {0: image(1)}, PAGE_SIZE)
+        with pytest.raises(JournalError, match="page size"):
+            read_journal(path, 8192)
+
+
+class TestRecovery:
+    def test_committed_journal_replayed(self, tmp_path):
+        db = tmp_path / "db"
+        with OnDiskPageFile(db) as pagefile:
+            pid = pagefile.allocate()
+            pagefile.write(pid, image(0xAA))
+        journal = tmp_path / "j"
+        write_journal(journal, {pid: image(0xBB)}, PAGE_SIZE)
+        with OnDiskPageFile(db) as pagefile:
+            assert recover(pagefile, journal) == 1
+            assert bytes(pagefile.read(pid)) == image(0xBB)
+        assert not journal.exists()
+
+    def test_uncommitted_journal_discarded(self, tmp_path):
+        db = tmp_path / "db"
+        with OnDiskPageFile(db) as pagefile:
+            pid = pagefile.allocate()
+            pagefile.write(pid, image(0xAA))
+        journal = tmp_path / "j"
+        write_journal(journal, {pid: image(0xBB)}, PAGE_SIZE)
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[:-4])   # crash before commit finished
+        with OnDiskPageFile(db) as pagefile:
+            assert recover(pagefile, journal) == 0
+            assert bytes(pagefile.read(pid)) == image(0xAA)
+        assert not journal.exists()
+
+    def test_no_journal_is_noop(self, tmp_path):
+        db = tmp_path / "db"
+        with OnDiskPageFile(db) as pagefile:
+            assert recover(pagefile, tmp_path / "absent") == 0
+
+    def test_replay_extends_short_file(self, tmp_path):
+        """Pages allocated but never flushed before the crash: the page
+        file is shorter than the journal's highest page id."""
+        db = tmp_path / "db"
+        with OnDiskPageFile(db) as pagefile:
+            pagefile.allocate()
+        journal = tmp_path / "j"
+        write_journal(journal, {0: image(1), 4: image(5)}, PAGE_SIZE)
+        with OnDiskPageFile(db) as pagefile:
+            assert recover(pagefile, journal) == 2
+            assert bytes(pagefile.read(4)) == image(5)
+
+    def test_atomic_flush_writes_and_removes_journal(self, tmp_path):
+        db = tmp_path / "db"
+        pagefile = OnDiskPageFile(db)
+        pool = BufferPool(pagefile, capacity=16)
+        page = pool.new_page()
+        page.write(0, b"payload")
+        pool.unpin(page)
+        journal = tmp_path / "j"
+        assert atomic_flush(pool, journal) == 1
+        assert not journal.exists()
+        assert bytes(pagefile.read(page.page_id))[:7] == b"payload"
+        pagefile.close()
+
+    def test_atomic_flush_with_nothing_dirty(self, tmp_path):
+        pagefile = OnDiskPageFile(tmp_path / "db")
+        pool = BufferPool(pagefile, capacity=16)
+        assert atomic_flush(pool, tmp_path / "j") == 0
+        assert not (tmp_path / "j").exists()
+        pagefile.close()
+
+
+class TestCrashConsistentIndex:
+    def _build(self, tmp_path, n=300):
+        rng = random.Random(5)
+        db = tmp_path / "idx.stripes"
+        pagefile = OnDiskPageFile(db)
+        index = StripesIndex(CONFIG, BufferPool(pagefile, capacity=64))
+        states = []
+        for oid in range(n):
+            state = MovingObjectState(
+                oid, (rng.uniform(0, 100), rng.uniform(0, 100)),
+                (rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                rng.uniform(0, 29))
+            index.insert(state)
+            states.append(state)
+        return db, pagefile, index, states, rng
+
+    def test_crash_between_journal_and_pagefile(self, tmp_path):
+        """Simulated crash: the journal committed but no page reached the
+        page file.  Recovery must replay the checkpoint in full."""
+        db, pagefile, index, states, rng = self._build(tmp_path)
+        meta = tmp_path / "idx.meta"
+        journal = tmp_path / "idx.journal"
+        baseline = sorted(index.query(
+            TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 30.0)))
+
+        # Write the journal exactly as save_index would...
+        from repro.storage.journal import write_journal as wj
+        dirty = {p.page_id: bytes(p.data)
+                 for p in index.pool._frames.values() if p.dirty}
+        wj(journal, dirty, PAGE_SIZE)
+        # ...then "crash": metadata written, but pages never flushed.
+        index_pages_unflushed = index  # noqa: F841  (state dropped)
+        save_index(index, meta)  # writes pages too; undo them:
+        for page_id in dirty:
+            pagefile.write(page_id, b"\x00" * PAGE_SIZE)  # torn flush
+        pagefile.close()
+
+        reopened = load_index(db, meta, pool_pages=64,
+                              journal_path=journal)
+        assert sorted(reopened.query(
+            TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 30.0))) == baseline
+        reopened.pool.pagefile.close()
+
+    def test_save_load_with_journal_clean_path(self, tmp_path):
+        db, pagefile, index, states, rng = self._build(tmp_path)
+        meta = tmp_path / "idx.meta"
+        journal = tmp_path / "idx.journal"
+        save_index(index, meta, journal_path=journal)
+        assert not journal.exists()
+        pagefile.close()
+        reopened = load_index(db, meta, pool_pages=64,
+                              journal_path=journal)
+        assert len(reopened) == len(states)
+        reopened.pool.pagefile.close()

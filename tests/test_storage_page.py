@@ -1,0 +1,81 @@
+"""Unit tests for the page abstraction."""
+
+import pytest
+
+from repro.storage.page import PAGE_SIZE, Page
+
+
+class TestPageConstruction:
+    def test_default_buffer_is_zeroed(self):
+        page = Page(0)
+        assert len(page.data) == PAGE_SIZE
+        assert bytes(page.data) == b"\x00" * PAGE_SIZE
+
+    def test_custom_page_size(self):
+        page = Page(3, page_size=512)
+        assert len(page.data) == 512
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Page(-1)
+
+    def test_wrong_buffer_length_rejected(self):
+        with pytest.raises(ValueError, match="exactly"):
+            Page(0, bytearray(10))
+
+    def test_new_page_is_clean_and_unpinned(self):
+        page = Page(0)
+        assert not page.dirty
+        assert not page.is_pinned
+        assert page.pin_count == 0
+
+
+class TestPinning:
+    def test_pin_unpin_balance(self):
+        page = Page(0)
+        page.pin()
+        page.pin()
+        assert page.pin_count == 2
+        page.unpin()
+        assert page.is_pinned
+        page.unpin()
+        assert not page.is_pinned
+
+    def test_unpin_without_pin_raises(self):
+        page = Page(0)
+        with pytest.raises(RuntimeError, match="unpinned more than pinned"):
+            page.unpin()
+
+
+class TestReadWrite:
+    def test_write_marks_dirty(self):
+        page = Page(0)
+        page.write(10, b"hello")
+        assert page.dirty
+        assert page.read(10, 5) == b"hello"
+
+    def test_write_at_end_boundary(self):
+        page = Page(0)
+        page.write(PAGE_SIZE - 3, b"abc")
+        assert page.read(PAGE_SIZE - 3, 3) == b"abc"
+
+    def test_write_past_end_rejected(self):
+        page = Page(0)
+        with pytest.raises(ValueError, match="out of page bounds"):
+            page.write(PAGE_SIZE - 2, b"abc")
+
+    def test_negative_offset_rejected(self):
+        page = Page(0)
+        with pytest.raises(ValueError):
+            page.read(-1, 2)
+
+    def test_read_does_not_mark_dirty(self):
+        page = Page(0)
+        page.read(0, 16)
+        assert not page.dirty
+
+    def test_repr_mentions_state(self):
+        page = Page(7)
+        page.mark_dirty()
+        assert "id=7" in repr(page)
+        assert "dirty=True" in repr(page)

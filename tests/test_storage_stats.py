@@ -1,0 +1,91 @@
+"""Unit tests for IO statistics and the disk-latency model."""
+
+import pytest
+
+from repro.storage.stats import (
+    CostAccumulator,
+    DiskModel,
+    IOStats,
+    OperationCost,
+)
+
+
+class TestIOStats:
+    def test_snapshot_is_independent(self):
+        stats = IOStats(physical_reads=3)
+        snap = stats.snapshot()
+        stats.physical_reads = 10
+        assert snap.physical_reads == 3
+
+    def test_diff(self):
+        stats = IOStats(logical_reads=10, physical_reads=4,
+                        physical_writes=2)
+        earlier = IOStats(logical_reads=6, physical_reads=1)
+        delta = stats.diff(earlier)
+        assert delta.logical_reads == 4
+        assert delta.physical_reads == 3
+        assert delta.physical_writes == 2
+
+    def test_hit_rate(self):
+        assert IOStats().hit_rate == 1.0
+        stats = IOStats(logical_reads=10, physical_reads=2)
+        assert stats.hit_rate == pytest.approx(0.8)
+
+    def test_physical_io_sums_reads_and_writes(self):
+        assert IOStats(physical_reads=2, physical_writes=3).physical_io == 5
+
+    def test_reset(self):
+        stats = IOStats(logical_reads=5, physical_reads=2, evictions=1)
+        stats.reset()
+        assert stats.logical_reads == 0
+        assert stats.physical_reads == 0
+        assert stats.evictions == 0
+
+
+class TestDiskModel:
+    def test_default_random_latency(self):
+        disk = DiskModel()
+        assert disk.seconds(100) == pytest.approx(1.2)  # 100 x 12 ms
+
+    def test_sequential_fraction_lowers_cost(self):
+        random_only = DiskModel(sequential_fraction=0.0)
+        half_seq = DiskModel(sequential_fraction=0.5)
+        assert half_seq.seconds(100) < random_only.seconds(100)
+
+    def test_zero_ios_cost_nothing(self):
+        assert DiskModel().seconds(0) == 0.0
+
+    def test_negative_ios_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel().seconds(-1)
+
+
+class TestOperationCost:
+    def test_total_combines_cpu_and_io(self):
+        cost = OperationCost(physical_reads=1, physical_writes=1,
+                             cpu_seconds=0.5)
+        disk = DiskModel(random_io_ms=10.0)
+        assert cost.io_seconds(disk) == pytest.approx(0.02)
+        assert cost.total_seconds(disk) == pytest.approx(0.52)
+
+
+class TestCostAccumulator:
+    def test_means(self):
+        acc = CostAccumulator()
+        acc.add(OperationCost(2, 0, 0.1))
+        acc.add(OperationCost(0, 2, 0.3))
+        assert acc.count == 2
+        assert acc.mean_io() == pytest.approx(2.0)
+        assert acc.mean_cpu_seconds() == pytest.approx(0.2)
+
+    def test_empty_accumulator_means_zero(self):
+        acc = CostAccumulator()
+        assert acc.mean_io() == 0.0
+        assert acc.mean_cpu_seconds() == 0.0
+        assert acc.mean_total_seconds(DiskModel()) == 0.0
+
+    def test_mean_total_includes_disk_model(self):
+        acc = CostAccumulator()
+        acc.add(OperationCost(1, 0, 0.0))
+        disk = DiskModel(random_io_ms=1000.0)
+        assert acc.mean_total_seconds(disk) == pytest.approx(1.0)

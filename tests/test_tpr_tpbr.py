@@ -1,0 +1,223 @@
+"""Unit and property tests for time-parameterized bounding rectangles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.types import MovingQuery, TimeSliceQuery, WindowQuery
+from repro.tpr.tpbr import TPBR
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+small = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+def tpbr_strategy(d=2):
+    def build(t0, lower, extents, vlower, vextents):
+        upper = tuple(l + e for l, e in zip(lower, extents))
+        vupper = tuple(v + e for v, e in zip(vlower, vextents))
+        return TPBR(t0, lower, upper, vlower, vupper)
+    return st.builds(
+        build,
+        t0=st.floats(min_value=0.0, max_value=100.0),
+        lower=st.tuples(*[coords] * d),
+        extents=st.tuples(*[small] * d),
+        vlower=st.tuples(*[st.floats(min_value=-10, max_value=10)] * d),
+        vextents=st.tuples(*[st.floats(min_value=0, max_value=5)] * d))
+
+
+def trajectory_strategy(d=2):
+    return st.tuples(st.tuples(*[coords] * d),
+                     st.tuples(*[st.floats(min_value=-10, max_value=10)] * d))
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        box = TPBR.from_point((1.0, 2.0), (0.5, -0.5), t0=10.0)
+        assert box.lower == box.upper == (6.0, -3.0)  # p0 + v*t0
+        assert box.vlower == box.vupper == (0.5, -0.5)
+        box.validate()
+
+    def test_validate_catches_inversion(self):
+        box = TPBR(0.0, (1.0,), (0.0,), (0.0,), (0.0,))
+        with pytest.raises(ValueError, match="exceeds"):
+            box.validate()
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            TPBR.union_of([], 0.0)
+
+    def test_equality_and_hash(self):
+        a = TPBR(0.0, (1.0,), (2.0,), (0.0,), (1.0,))
+        b = TPBR(0.0, (1.0,), (2.0,), (0.0,), (1.0,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TPBR(1.0, (1.0,), (2.0,), (0.0,), (1.0,))
+
+
+class TestConservativeness:
+    @settings(max_examples=200, deadline=None)
+    @given(trajectories=st.lists(trajectory_strategy(), min_size=1,
+                                 max_size=8),
+           t0=st.floats(min_value=0, max_value=50),
+           dt=st.floats(min_value=0, max_value=100))
+    def test_union_bounds_members_forever(self, trajectories, t0, dt):
+        """The union of point-TPBRs contains every member trajectory at
+        every time >= t0."""
+        boxes = [TPBR.from_point(p0, vel, t0) for p0, vel in trajectories]
+        union = TPBR.union_of(boxes, t0)
+        union.validate()
+        when = t0 + dt
+        lo, hi = union.bounds_at(when)
+        for p0, vel in trajectories:
+            for i in range(2):
+                at = p0[i] + vel[i] * when
+                slack = 1e-6 * (1 + abs(at))
+                assert lo[i] - slack <= at <= hi[i] + slack
+
+    @settings(max_examples=100, deadline=None)
+    @given(box=tpbr_strategy(), dt=st.floats(min_value=0, max_value=50),
+           probe=st.floats(min_value=0, max_value=50))
+    def test_rebase_preserves_bounds(self, box, dt, probe):
+        rebased = box.rebased(box.t0 + dt)
+        when = box.t0 + dt + probe
+        lo1, hi1 = box.bounds_at(when)
+        lo2, hi2 = rebased.bounds_at(when)
+        for a, b in zip(lo1 + hi1, lo2 + hi2):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(box=tpbr_strategy(), dt=st.floats(min_value=0, max_value=50))
+    def test_extents_never_shrink(self, box, dt):
+        lo1, hi1 = box.bounds_at(box.t0)
+        lo2, hi2 = box.bounds_at(box.t0 + dt)
+        for i in range(box.d):
+            assert (hi2[i] - lo2[i]) >= (hi1[i] - lo1[i]) - 1e-9
+
+
+class TestContainsTrajectory:
+    def test_member_contained(self):
+        box = TPBR.from_point((5.0, 5.0), (1.0, -1.0), 3.0)
+        assert box.contains_trajectory((5.0, 5.0), (1.0, -1.0))
+
+    def test_outsider_rejected(self):
+        box = TPBR.from_point((5.0, 5.0), (1.0, -1.0), 3.0)
+        assert not box.contains_trajectory((50.0, 5.0), (1.0, -1.0))
+        assert not box.contains_trajectory((5.0, 5.0), (2.0, -1.0))
+
+    @settings(max_examples=100, deadline=None)
+    @given(trajectories=st.lists(trajectory_strategy(), min_size=1,
+                                 max_size=6),
+           t0=st.floats(min_value=0, max_value=50))
+    def test_all_members_contained_after_union(self, trajectories, t0):
+        boxes = [TPBR.from_point(p0, vel, t0) for p0, vel in trajectories]
+        union = TPBR.union_of(boxes, t0)
+        for p0, vel in trajectories:
+            assert union.contains_trajectory(p0, vel)
+
+
+class TestIntegratedMetrics:
+    def test_static_box_area_integral(self):
+        box = TPBR(0.0, (0.0, 0.0), (2.0, 3.0), (0.0, 0.0), (0.0, 0.0))
+        assert box.area_integral(0.0, 10.0) == pytest.approx(60.0)
+
+    def test_growing_box_area_integral(self):
+        # Extent (t) = t in one dimension, 1 in the other: integral of t
+        # over [0, 2] = 2.
+        box = TPBR(0.0, (0.0, 0.0), (0.0, 1.0), (0.0, 0.0), (1.0, 0.0))
+        assert box.area_integral(0.0, 2.0) == pytest.approx(2.0)
+
+    def test_area_integral_matches_numeric(self):
+        box = TPBR(1.0, (0.0, 5.0), (4.0, 9.0), (-1.0, 0.5), (1.0, 2.0))
+        start, horizon = 2.0, 7.0
+        steps = 20000
+        h = horizon / steps
+        numeric = sum(box.area_at(start + (k + 0.5) * h) * h
+                      for k in range(steps))
+        assert box.area_integral(start, horizon) == pytest.approx(
+            numeric, rel=1e-6)
+
+    def test_margin_integral_matches_numeric(self):
+        box = TPBR(1.0, (0.0, 5.0), (4.0, 9.0), (-1.0, 0.5), (1.0, 2.0))
+        start, horizon = 2.0, 7.0
+        steps = 20000
+        h = horizon / steps
+        numeric = sum(box.margin_at(start + (k + 0.5) * h) * h
+                      for k in range(steps))
+        assert box.margin_integral(start, horizon) == pytest.approx(
+            numeric, rel=1e-6)
+
+    def test_generic_dimension_area_integral(self):
+        # 3-d box exercises the generic convolution path.
+        box = TPBR(0.0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0),
+                   (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        # extent_i(t) = 1 + t; integral of (1+t)^3 over [0,1] = (2^4-1)/4.
+        assert box.area_integral(0.0, 1.0) == pytest.approx(15.0 / 4.0)
+
+    def test_overlap_of_disjoint_boxes_is_zero(self):
+        a = TPBR(0.0, (0.0, 0.0), (1.0, 1.0), (0.0, 0.0), (0.0, 0.0))
+        b = TPBR(0.0, (5.0, 5.0), (6.0, 6.0), (0.0, 0.0), (0.0, 0.0))
+        assert a.overlap_integral(b, 0.0, 10.0) == 0.0
+
+    def test_overlap_of_identical_boxes_is_area(self):
+        a = TPBR(0.0, (0.0, 0.0), (2.0, 2.0), (0.0, 0.0), (0.0, 0.0))
+        assert a.overlap_integral(a, 0.0, 5.0) == pytest.approx(
+            a.area_integral(0.0, 5.0))
+
+    def test_overlap_symmetry(self):
+        a = TPBR(0.0, (0.0, 0.0), (3.0, 3.0), (0.0, 0.0), (1.0, 0.0))
+        b = TPBR(0.0, (1.0, 1.0), (4.0, 4.0), (-1.0, 0.0), (0.0, 1.0))
+        assert a.overlap_integral(b, 0.0, 5.0) == pytest.approx(
+            b.overlap_integral(a, 0.0, 5.0))
+
+
+class TestQueryIntersection:
+    def test_static_hit(self):
+        box = TPBR(0.0, (0.0, 0.0), (10.0, 10.0), (0.0, 0.0), (0.0, 0.0))
+        query = TimeSliceQuery((5.0, 5.0), (6.0, 6.0), 3.0).as_moving()
+        assert box.intersects_query(query)
+
+    def test_static_miss(self):
+        box = TPBR(0.0, (0.0, 0.0), (10.0, 10.0), (0.0, 0.0), (0.0, 0.0))
+        query = TimeSliceQuery((50.0, 50.0), (60.0, 60.0), 3.0).as_moving()
+        assert not box.intersects_query(query)
+
+    def test_moving_box_reaches_query_later(self):
+        box = TPBR(0.0, (0.0, 0.0), (1.0, 1.0), (1.0, 1.0), (1.0, 1.0))
+        query = WindowQuery((9.0, 9.0), (10.0, 10.0), 0.0, 10.0).as_moving()
+        assert box.intersects_query(query)
+        early = WindowQuery((9.0, 9.0), (10.0, 10.0), 0.0, 2.0).as_moving()
+        assert not box.intersects_query(early)
+
+    def test_no_common_instant_means_miss(self):
+        # Box crosses x-range early, y-range late.
+        box = TPBR(0.0, (0.0, 100.0), (1.0, 101.0),
+                   (10.0, -10.0), (10.0, -10.0))
+        query = WindowQuery((0.0, 0.0), (10.0, 10.0), 0.0, 10.0).as_moving()
+        assert not box.intersects_query(query)
+
+    @settings(max_examples=200, deadline=None)
+    @given(trajectories=st.lists(trajectory_strategy(), min_size=1,
+                                 max_size=5),
+           t0=st.floats(min_value=0, max_value=20),
+           data=st.data())
+    def test_intersection_is_conservative(self, trajectories, t0, data):
+        """If any member trajectory matches the query, the union box must
+        intersect it (no false prunes)."""
+        from repro.query.predicates import matches
+        from repro.query.types import MovingObjectState
+        boxes = [TPBR.from_point(p0, vel, t0) for p0, vel in trajectories]
+        union = TPBR.union_of(boxes, t0)
+        low = data.draw(st.tuples(coords, coords), label="low")
+        side = data.draw(small, label="side")
+        t1 = data.draw(st.floats(min_value=t0, max_value=t0 + 50),
+                       label="t1")
+        dt = data.draw(st.floats(min_value=0, max_value=30), label="dt")
+        query = WindowQuery(low, (low[0] + side, low[1] + side),
+                            t1, t1 + dt).as_moving()
+        any_member_matches = any(
+            matches(MovingObjectState(0, p0, vel, 0.0), query)
+            for p0, vel in trajectories)
+        if any_member_matches:
+            assert union.intersects_query(query)

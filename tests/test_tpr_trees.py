@@ -1,0 +1,279 @@
+"""Behavioural and oracle-equivalence tests for the TPR and TPR* trees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.scan import ScanIndex
+from repro.query.types import (
+    MovingObjectState,
+    MovingQuery,
+    TimeSliceQuery,
+    WindowQuery,
+)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import RecordStore
+from repro.storage.pagefile import InMemoryPageFile
+from repro.tpr.node import ChildEntry
+from repro.tpr.tprstar import TPRStarTree
+from repro.tpr.tprtree import TPRTree, TPRTreeConfig
+
+PMAX = (200.0, 200.0)
+VMAX = 3.0
+
+
+def make_tree(cls=TPRStarTree, pool_pages=4096, **config_kw):
+    config = TPRTreeConfig(d=2, horizon=30.0, **config_kw)
+    pool = BufferPool(InMemoryPageFile(), capacity=pool_pages)
+    return cls(config, RecordStore(pool))
+
+
+def random_state(rng, oid, t):
+    return MovingObjectState(
+        oid,
+        (rng.uniform(0, PMAX[0]), rng.uniform(0, PMAX[1])),
+        (rng.uniform(-VMAX, VMAX), rng.uniform(-VMAX, VMAX)),
+        t)
+
+
+def random_query(rng, now):
+    side = 30.0
+    x = rng.uniform(0, PMAX[0] - side)
+    y = rng.uniform(0, PMAX[1] - side)
+    lo, hi = (x, y), (x + side, y + side)
+    t1 = now + rng.uniform(0, 10)
+    kind = rng.choice(["ts", "win", "mov"])
+    if kind == "ts":
+        return TimeSliceQuery(lo, hi, t1)
+    t2 = t1 + rng.uniform(0.1, 10)
+    if kind == "win":
+        return WindowQuery(lo, hi, t1, t2)
+    dx, dy = rng.uniform(-20, 20), rng.uniform(-20, 20)
+    return MovingQuery(lo, hi, (x + dx, y + dy),
+                       (x + side + dx, y + side + dy), t1, t2)
+
+
+def check_tpbr_invariants(tree):
+    """Every child TPBR must contain all trajectories stored below it."""
+    def walk(rid):
+        node = tree.cache.get(rid)
+        if node.is_leaf:
+            return list(node.entries)
+        collected = []
+        for child in node.entries:
+            assert isinstance(child, ChildEntry)
+            below = walk(child.rid)
+            for entry in below:
+                assert child.tpbr.contains_trajectory(
+                    entry.p0, entry.vel, eps=1e-6), (
+                    f"entry {entry.oid} escapes its ancestor TPBR")
+            collected.extend(below)
+        return collected
+
+    entries = walk(tree._root)
+    assert len(entries) == len(tree)
+
+
+def check_fill_invariants(tree):
+    """No node exceeds capacity; non-root nodes respect the minimum fill
+    (the root is exempt)."""
+    def walk(rid, is_root):
+        node = tree.cache.get(rid)
+        assert len(node.entries) <= tree._capacity(node)
+        if not is_root:
+            assert len(node.entries) >= tree._min_entries(node)
+        if not node.is_leaf:
+            for child in node.entries:
+                walk(child.rid, False)
+    walk(tree._root, True)
+
+
+@pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+class TestBothTrees:
+    def test_empty_tree(self, cls):
+        tree = make_tree(cls)
+        assert len(tree) == 0
+        assert tree.query(TimeSliceQuery((0.0, 0.0), PMAX, 0.0)) == []
+
+    def test_insert_and_query(self, cls):
+        tree = make_tree(cls)
+        tree.insert(MovingObjectState(5, (50.0, 50.0), (1.0, 0.0), 0.0))
+        hits = tree.query(TimeSliceQuery((55.0, 45.0), (65.0, 55.0), 10.0))
+        assert hits == [5]
+
+    def test_delete(self, cls):
+        tree = make_tree(cls)
+        state = MovingObjectState(1, (10.0, 10.0), (1.0, 1.0), 0.0)
+        tree.insert(state)
+        assert tree.delete(state)
+        assert len(tree) == 0
+        assert not tree.delete(state)
+
+    def test_update_moves_object(self, cls):
+        tree = make_tree(cls)
+        old = MovingObjectState(1, (10.0, 10.0), (1.0, 1.0), 0.0)
+        new = MovingObjectState(1, (100.0, 100.0), (-1.0, -1.0), 5.0)
+        tree.insert(old)
+        assert tree.update(old, new)
+        assert len(tree) == 1
+        hits = tree.query(TimeSliceQuery((90.0, 90.0), (100.0, 100.0), 10.0))
+        assert hits == [1]
+
+    def test_growth_and_shrink(self, cls):
+        tree = make_tree(cls)
+        rng = random.Random(17)
+        states = [random_state(rng, oid, 0.0) for oid in range(800)]
+        for state in states:
+            tree.insert(state)
+        assert tree.height() >= 2
+        check_tpbr_invariants(tree)
+        check_fill_invariants(tree)
+        rng.shuffle(states)
+        for state in states:
+            assert tree.delete(state)
+        assert len(tree) == 0
+        assert tree.height() == 1
+
+    def test_mixed_updates_keep_invariants(self, cls):
+        tree = make_tree(cls)
+        rng = random.Random(18)
+        live = {}
+        for oid in range(500):
+            state = random_state(rng, oid, rng.uniform(0, 10))
+            tree.insert(state)
+            live[oid] = state
+        for _ in range(400):
+            oid = rng.choice(sorted(live))
+            new = random_state(rng, oid, tree.now + rng.uniform(0, 1))
+            assert tree.update(live[oid], new)
+            live[oid] = new
+        assert len(tree) == 500
+        check_tpbr_invariants(tree)
+        check_fill_invariants(tree)
+
+    def test_oracle_equivalence(self, cls):
+        rng = random.Random(19)
+        tree = make_tree(cls)
+        oracle = ScanIndex(lifetime=1e12)  # TPR trees never expire entries
+        live = {}
+        now = 0.0
+        for oid in range(600):
+            state = random_state(rng, oid, now)
+            tree.insert(state)
+            oracle.insert(state)
+            live[oid] = state
+        for _ in range(300):
+            now += rng.uniform(0, 0.2)
+            oid = rng.choice(sorted(live))
+            new = random_state(rng, oid, now)
+            tree.update(live[oid], new)
+            oracle.update(live[oid], new)
+            live[oid] = new
+        for _ in range(60):
+            query = random_query(rng, now)
+            assert sorted(tree.query(query)) == sorted(oracle.query(query))
+
+    def test_dimension_mismatch_rejected(self, cls):
+        tree = make_tree(cls)
+        with pytest.raises(ValueError, match="2-d"):
+            tree.insert(MovingObjectState(1, (0.0,), (0.0,), 0.0))
+        with pytest.raises(ValueError, match="2-d"):
+            tree.query(TimeSliceQuery((0.0,), (1.0,), 0.0))
+
+    def test_node_count_matches_pages(self, cls):
+        tree = make_tree(cls)
+        rng = random.Random(20)
+        for oid in range(400):
+            tree.insert(random_state(rng, oid, 0.0))
+        assert tree.node_count() == tree.store.pages_in_use()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32))
+    def test_random_ops_property(self, cls, seed):
+        rng = random.Random(seed)
+        tree = make_tree(cls)
+        live = {}
+        now = 0.0
+        next_oid = 0
+        for _ in range(rng.randint(30, 120)):
+            now += rng.uniform(0, 0.5)
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                state = random_state(rng, next_oid, now)
+                tree.insert(state)
+                live[next_oid] = state
+                next_oid += 1
+            elif roll < 0.8:
+                oid = rng.choice(sorted(live))
+                new = random_state(rng, oid, now)
+                assert tree.update(live[oid], new)
+                live[oid] = new
+            else:
+                oid = rng.choice(sorted(live))
+                assert tree.delete(live.pop(oid))
+        assert len(tree) == len(live)
+        assert sorted(e.oid for e in tree.all_entries()) == sorted(live)
+        check_tpbr_invariants(tree)
+
+
+class TestTPRStarSpecifics:
+    def test_forced_reinsert_flag(self):
+        assert not TPRTree.use_forced_reinsert
+        assert TPRStarTree.use_forced_reinsert
+
+    def test_choose_path_returns_root_for_target_root_level(self):
+        tree = make_tree(TPRStarTree)
+        rng = random.Random(21)
+        for oid in range(50):
+            tree.insert(random_state(rng, oid, 0.0))
+        from repro.tpr.tpbr import TPBR
+        box = TPBR.from_point((1.0, 1.0), (0.0, 0.0), 0.0)
+        root = tree.cache.get(tree._root)
+        path = tree._choose_path(box, root.level)
+        assert path == [tree._root]
+
+    def test_choose_path_finds_zero_cost_leaf(self):
+        """A point inside an existing leaf box must route to a leaf whose
+        enlargement is (near) zero."""
+        tree = make_tree(TPRStarTree)
+        rng = random.Random(22)
+        states = [random_state(rng, oid, 0.0) for oid in range(300)]
+        for state in states:
+            tree.insert(state)
+        from repro.tpr.tpbr import TPBR
+        target = states[137]
+        p0 = tuple(p - v * target.t for p, v in zip(target.pos, target.vel))
+        box = TPBR.from_point(p0, target.vel, tree.now)
+        path = tree._choose_path(box, 0)
+        leaf = tree.cache.get(path[-1])
+        assert leaf.is_leaf
+
+    def test_reinsert_then_split_keeps_entries(self):
+        tree = make_tree(TPRStarTree)
+        rng = random.Random(23)
+        n = tree.leaf_capacity * 3
+        for oid in range(n):
+            tree.insert(random_state(rng, oid, 0.0))
+        assert len(tree) == n
+        assert sorted(e.oid for e in tree.all_entries()) == list(range(n))
+
+
+class TestConfigValidation:
+    def test_bad_min_fill(self):
+        with pytest.raises(ValueError, match="min_fill"):
+            TPRTreeConfig(min_fill=0.9)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            TPRTreeConfig(horizon=0.0)
+
+    def test_bad_reinsert_fraction(self):
+        with pytest.raises(ValueError, match="reinsert_fraction"):
+            TPRTreeConfig(reinsert_fraction=1.5)
+
+    def test_tiny_nodes_rejected(self):
+        pool = BufferPool(InMemoryPageFile(), capacity=16)
+        with pytest.raises(ValueError, match="fanout"):
+            TPRTree(TPRTreeConfig(node_bytes=200), RecordStore(pool))

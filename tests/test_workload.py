@@ -1,0 +1,289 @@
+"""Tests for the workload generator (Section 5.2): parameter handling,
+bounds guarantees, mix ratios, determinism, and skew."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.types import MovingQuery, TimeSliceQuery, WindowQuery
+from repro.workload.generator import WorkloadSpec, _reflect, generate_workload
+from repro.workload.network import NetworkTraveller, RouteNetwork
+from repro.workload.operations import InsertOp, QueryOp, UpdateOp
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        assert _reflect(5.0, 10.0) == 5.0
+
+    def test_bounces_off_upper_wall(self):
+        assert _reflect(12.0, 10.0) == 8.0
+
+    def test_bounces_off_lower_wall(self):
+        assert _reflect(-3.0, 10.0) == 3.0
+
+    def test_multiple_periods(self):
+        assert _reflect(25.0, 10.0) == pytest.approx(5.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.floats(min_value=-1e5, max_value=1e5,
+                           allow_nan=False),
+           side=st.floats(min_value=0.1, max_value=1e3))
+    def test_always_in_bounds(self, value, side):
+        assert 0.0 <= _reflect(value, side) <= side
+
+    def test_zero_side_rejected(self):
+        with pytest.raises(ValueError):
+            _reflect(1.0, 0.0)
+
+
+class TestSpecValidation:
+    def test_defaults_follow_paper(self):
+        spec = WorkloadSpec()
+        assert spec.update_interval == 60.0
+        assert spec.duration == 600.0
+        assert spec.query_mix == (0.6, 0.2, 0.2)
+        assert spec.query_temporal_range == 40.0
+        assert spec.query_spatial_fraction == 0.0025
+
+    def test_side_scaling_keeps_density(self):
+        n100k = WorkloadSpec(n_objects=100_000)
+        n400k = WorkloadSpec(n_objects=400_000)
+        assert n100k.side == pytest.approx(1000.0)
+        assert n400k.side == pytest.approx(2000.0)
+
+    def test_query_side_is_5_percent(self):
+        spec = WorkloadSpec(n_objects=100_000)
+        assert spec.query_side == pytest.approx(50.0)
+
+    def test_explicit_side_overrides_scaling(self):
+        assert WorkloadSpec(space_side=777.0).side == 777.0
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="query_mix"):
+            WorkloadSpec(query_mix=(0.5, 0.2, 0.2))
+
+    def test_bad_nd_rejected(self):
+        with pytest.raises(ValueError, match="nd"):
+            WorkloadSpec(nd=1)
+
+    def test_bad_update_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(update_fraction=0.0)
+
+
+class TestGeneratedWorkload:
+    SPEC = WorkloadSpec(n_objects=500, n_operations=600, seed=42)
+
+    def test_initial_states_cover_all_objects(self):
+        workload = generate_workload(self.SPEC)
+        assert len(workload.initial) == 500
+        assert sorted(s.oid for s in workload.initial) == list(range(500))
+        assert all(s.t == 0.0 for s in workload.initial)
+
+    def test_all_states_within_bounds(self):
+        workload = generate_workload(self.SPEC)
+        side = self.SPEC.side
+        states = list(workload.initial)
+        states += [op.new for op in workload.operations
+                   if isinstance(op, UpdateOp)]
+        for state in states:
+            for i in range(2):
+                assert 0.0 <= state.pos[i] <= side
+                assert abs(state.vel[i]) <= self.SPEC.max_speed + 1e-9
+
+    def test_operations_are_time_ordered(self):
+        workload = generate_workload(self.SPEC)
+        assert workload.check_ordered()
+
+    def test_update_old_params_match_previous_report(self):
+        workload = generate_workload(self.SPEC)
+        last = {s.oid: s for s in workload.initial}
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                assert op.old == last[op.old.oid], (
+                    "old parameters must be exactly the previous report")
+                last[op.new.oid] = op.new
+
+    def test_mix_ratio_approximately_honoured(self):
+        for fraction in (0.8, 0.5, 0.2):
+            spec = WorkloadSpec(n_objects=400, update_fraction=fraction,
+                                n_operations=1000, seed=1)
+            workload = generate_workload(spec)
+            observed = workload.n_updates / len(workload)
+            assert observed == pytest.approx(fraction, abs=0.05)
+
+    def test_query_mix_approximately_honoured(self):
+        spec = WorkloadSpec(n_objects=300, update_fraction=0.2,
+                            n_operations=2000, seed=3)
+        workload = generate_workload(spec)
+        kinds = {"ts": 0, "win": 0, "mov": 0}
+        for op in workload.operations:
+            if isinstance(op, QueryOp):
+                if isinstance(op.query, TimeSliceQuery):
+                    kinds["ts"] += 1
+                elif isinstance(op.query, WindowQuery):
+                    kinds["win"] += 1
+                else:
+                    kinds["mov"] += 1
+        total = sum(kinds.values())
+        assert kinds["ts"] / total == pytest.approx(0.6, abs=0.08)
+        assert kinds["win"] / total == pytest.approx(0.2, abs=0.08)
+        assert kinds["mov"] / total == pytest.approx(0.2, abs=0.08)
+
+    def test_queries_respect_temporal_range(self):
+        workload = generate_workload(self.SPEC)
+        for op in workload.operations:
+            if isinstance(op, QueryOp):
+                moving = op.query.as_moving()
+                assert moving.t_low >= op.issued_at
+                assert moving.t_high <= op.issued_at + 40.0 + 1e-9
+
+    def test_query_rectangles_have_paper_extent(self):
+        workload = generate_workload(self.SPEC)
+        expected = self.SPEC.query_side
+        for op in workload.operations:
+            if isinstance(op, QueryOp):
+                moving = op.query.as_moving()
+                for i in range(2):
+                    assert (moving.high1[i] - moving.low1[i]) \
+                        == pytest.approx(expected)
+
+    def test_determinism(self):
+        a = generate_workload(self.SPEC)
+        b = generate_workload(self.SPEC)
+        assert a.initial == b.initial
+        assert a.operations == b.operations
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(self.SPEC)
+        b = generate_workload(WorkloadSpec(n_objects=500, n_operations=600,
+                                           seed=43))
+        assert a.operations != b.operations
+
+    def test_operation_cap_respected(self):
+        workload = generate_workload(self.SPEC)
+        assert len(workload) == 600
+
+    def test_duration_bounds_updates(self):
+        spec = WorkloadSpec(n_objects=50, duration=30.0, seed=5)
+        workload = generate_workload(spec)
+        for op in workload.operations:
+            assert op.timestamp <= 30.0
+
+
+class TestSkewedWorkload:
+    def test_skew_concentrates_positions(self):
+        """Positions in an ND=5 workload must be far more concentrated
+        than uniform (measured by mean distance to the nearest route
+        segment endpoint grid cell occupancy)."""
+        uniform = generate_workload(
+            WorkloadSpec(n_objects=2000, seed=9, n_operations=0))
+        skewed = generate_workload(
+            WorkloadSpec(n_objects=2000, seed=9, nd=5, n_operations=0))
+
+        def occupied_cells(states, side, grid=20):
+            cells = set()
+            for state in states:
+                cx = min(grid - 1, int(state.pos[0] / side * grid))
+                cy = min(grid - 1, int(state.pos[1] / side * grid))
+                cells.add((cx, cy))
+            return len(cells)
+
+        side = WorkloadSpec(n_objects=2000).side
+        assert occupied_cells(skewed.initial, side) \
+            < 0.7 * occupied_cells(uniform.initial, side)
+
+    def test_skewed_states_in_bounds(self):
+        spec = WorkloadSpec(n_objects=300, nd=8, n_operations=500, seed=11)
+        workload = generate_workload(spec)
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                for i in range(2):
+                    assert -1e-6 <= op.new.pos[i] <= spec.side + 1e-6
+                    assert abs(op.new.vel[i]) <= spec.max_speed + 1e-9
+
+    def test_network_traveller_advances_toward_destination(self):
+        rng = random.Random(1)
+        network = RouteNetwork([(0.0, 0.0), (10.0, 0.0)])
+        traveller = NetworkTraveller((0.0, 0.0), 1, speed=1.0)
+        traveller.advance(5.0, network, rng)
+        assert traveller.position[0] == pytest.approx(5.0)
+
+    def test_network_traveller_passes_through_hub(self):
+        rng = random.Random(2)
+        network = RouteNetwork([(0.0, 0.0), (4.0, 0.0), (4.0, 3.0)])
+        traveller = NetworkTraveller((0.0, 0.0), 1, speed=1.0)
+        traveller.advance(6.0, network, rng)
+        # 4 units to the hub, 2 more along the next route.
+        assert math.hypot(traveller.position[0] - 4.0,
+                          traveller.position[1]) == pytest.approx(2.0) \
+            or traveller.position[0] == pytest.approx(2.0)
+
+    def test_network_needs_two_hubs(self):
+        with pytest.raises(ValueError):
+            RouteNetwork.generate(1, (10.0, 10.0), random.Random(0))
+
+    def test_random_destination_excludes(self):
+        rng = random.Random(3)
+        network = RouteNetwork([(0.0, 0.0), (1.0, 1.0)])
+        for _ in range(10):
+            assert network.random_destination(rng, exclude=0) == 1
+
+
+class TestDimensionalGenerator:
+    @pytest.mark.parametrize("d", [1, 3])
+    def test_states_and_queries_have_dimension(self, d):
+        spec = WorkloadSpec(d=d, n_objects=100, n_operations=200, seed=13)
+        workload = generate_workload(spec)
+        assert all(s.d == d for s in workload.initial)
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                assert op.new.d == d
+            elif isinstance(op, QueryOp):
+                assert op.query.as_moving().d == d
+
+    @pytest.mark.parametrize("d", [1, 3])
+    def test_bounds_hold_in_d(self, d):
+        spec = WorkloadSpec(d=d, n_objects=100, n_operations=300, seed=14)
+        workload = generate_workload(spec)
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                for i in range(d):
+                    assert 0.0 <= op.new.pos[i] <= spec.side
+                    assert abs(op.new.vel[i]) <= spec.max_speed + 1e-9
+
+    def test_speed_magnitude_bounded_not_componentwise_capped(self):
+        """Velocity is a speed times a unit direction: the vector norm is
+        bounded by max_speed (not each component independently)."""
+        spec = WorkloadSpec(d=3, n_objects=200, n_operations=0, seed=15)
+        workload = generate_workload(spec)
+        for state in workload.initial:
+            assert math.sqrt(sum(v * v for v in state.vel)) \
+                <= spec.max_speed + 1e-9
+
+    def test_network_requires_two_dimensions(self):
+        with pytest.raises(ValueError, match="two-dimensional"):
+            WorkloadSpec(d=3, nd=10)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError, match="d must be"):
+            WorkloadSpec(d=0)
+
+
+class TestOperationsModel:
+    def test_workload_counters(self):
+        spec = WorkloadSpec(n_objects=200, n_operations=300, seed=21)
+        workload = generate_workload(spec)
+        assert workload.n_updates + workload.n_queries == len(workload)
+
+    def test_insert_op_timestamp(self):
+        from repro.query.types import MovingObjectState
+        op = InsertOp(MovingObjectState(1, (0.0,), (0.0,), 4.5))
+        assert op.timestamp == 4.5
+
+    def test_query_op_timestamp(self):
+        op = QueryOp(TimeSliceQuery((0.0,), (1.0,), 9.0), issued_at=3.0)
+        assert op.timestamp == 3.0
