@@ -3,15 +3,19 @@ pytest-benchmark timings, complementing the one-shot figure experiments):
 
 * STRIPES insert / update / delete / the three query types;
 * TPR*-tree insert / update / query;
-* the dual transform and query-region construction.
+* the dual transform and query-region construction;
+* a (non-timed) smoke check that the metrics export stays well-formed
+  against a benchmark-sized index.
 """
 
 import itertools
+import json
 import random
 
 import pytest
 
 from repro.core.dual import DualSpace
+from repro.obs import MetricsRegistry
 from repro.core.query_region import build_query_regions
 from repro.core.stripes import StripesConfig, StripesIndex
 from repro.query.types import (
@@ -159,6 +163,32 @@ class TestTPRStarOps:
                                              tree.now + rng.uniform(0, 40)))
 
         benchmark(op)
+
+
+class TestMetricsExport:
+    """CI smoke: attaching a registry to a loaded index must yield a
+    well-formed JSON snapshot and Prometheus exposition (skipped under
+    ``--benchmark-only``; it asserts correctness, not speed)."""
+
+    def test_metrics_json_well_formed(self, loaded_stripes):
+        index, _ = loaded_stripes
+        registry = MetricsRegistry()
+        index.attach_metrics(registry)
+        data = json.loads(registry.to_json())
+        assert set(data) == {"counters", "gauges", "histograms"}
+        assert data["counters"]["stripes_inserts_total"] >= N_LOADED
+        assert data["gauges"]["stripes_entries"] >= N_LOADED
+        text = registry.expose_text()
+        assert "# TYPE stripes_inserts_total counter" in text
+        assert text.endswith("\n")
+
+    def test_tprstar_metrics_json_well_formed(self, loaded_tprstar):
+        tree, _ = loaded_tprstar
+        registry = MetricsRegistry()
+        tree.attach_metrics(registry)
+        data = json.loads(registry.to_json())
+        assert data["counters"]["tpr_inserts_total"] >= N_LOADED
+        assert data["counters"]["tpr_choosepath_pops_total"] > 0
 
 
 class TestPrimitives:

@@ -31,6 +31,7 @@ from repro.core.persistence import load_index, save_index
 from repro.core.quadtree import QuadTreeConfig
 from repro.core.stripes import StripesConfig, StripesIndex
 from repro.extensions import distance_join, knn
+from repro.obs import MetricsRegistry, QueryExplain, Tracer
 from repro.query.types import (
     MovingObjectState,
     MovingQuery,
@@ -51,6 +52,9 @@ __all__ = [
     "ScanIndex",
     "knn",
     "distance_join",
+    "MetricsRegistry",
+    "Tracer",
+    "QueryExplain",
     "save_index",
     "load_index",
     "__version__",

@@ -7,7 +7,8 @@
   (Figures 9-14, the Section 5.1 structure statistics) plus the ablations
   of DESIGN.md.
 * :mod:`repro.bench.report` -- renders results as the rows/series the
-  paper plots.
+  paper plots, plus tail-latency percentile tables and metrics-registry
+  snapshots.
 * :mod:`repro.bench.cli` -- the ``stripes-bench`` command.
 """
 
@@ -21,6 +22,11 @@ from repro.bench.runner import (
     run_workload,
 )
 from repro.bench.experiments import ExperimentScale
+from repro.bench.report import (
+    render_cost_table,
+    render_latency_table,
+    render_metrics_snapshot,
+)
 
 __all__ = [
     "IndexSetup",
@@ -31,4 +37,7 @@ __all__ = [
     "make_tprstar",
     "make_scan",
     "ExperimentScale",
+    "render_cost_table",
+    "render_latency_table",
+    "render_metrics_snapshot",
 ]

@@ -6,6 +6,12 @@ Examples::
     stripes-bench fig9                 # continuous performance, 1% scale
     stripes-bench fig12 --scale 0.05   # per-query costs, 5% scale
     stripes-bench all --scale 0.002    # everything, tiny and fast
+    stripes-bench explain --query-type window --index tprstar
+
+The ``explain`` subcommand builds a small index, replays a prefix of the
+workload, then runs one query under full tracing and prints the descent
+trace (nodes visited, quads INSIDE/OVERLAP/DISJUNCT, candidates refined
+away) together with the index's metrics snapshot.
 """
 
 from __future__ import annotations
@@ -20,18 +26,40 @@ from repro.bench.report import (
     render_batches,
     render_breakdown,
     render_cost_table,
+    render_latency_table,
     render_load,
+    render_metrics_snapshot,
 )
+from repro.bench.runner import make_stripes, make_tpr, make_tprstar
 
 EXPERIMENTS = ("fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
                "structure", "ablation-leaf", "ablation-pruning",
                "ablation-choosepath", "ablation-horizon",
                "sweep-dimension", "sweep-selectivity", "sweep-temporal")
 
+EXPLAIN_BUILDERS = {"stripes": make_stripes, "tpr": make_tpr,
+                    "tprstar": make_tprstar}
+
+QUERY_TYPE_NAMES = {"timeslice": "TimeSliceQuery", "window": "WindowQuery",
+                    "moving": "MovingQuery"}
+
 
 def _print(text: str) -> None:
     print(text)
     print()
+
+
+def _print_costs(title: str, results, disk, metrics: bool = False) -> None:
+    """One cost table plus its tail-latency companion (and, on request,
+    each index's metrics snapshot)."""
+    _print(render_cost_table(title, results, disk))
+    _print(render_latency_table(f"{title} -- tail latency (CPU ms/op)",
+                                results))
+    if metrics:
+        for name, result in results.items():
+            if result.metrics:
+                _print(render_metrics_snapshot(
+                    f"{title} -- {name} metrics snapshot", result.metrics))
 
 
 def run_experiment(name: str, scale: ExperimentScale) -> None:
@@ -49,19 +77,19 @@ def run_experiment(name: str, scale: ExperimentScale) -> None:
                     f"Figure 10 analog -- 500K-Uniform, {mix} mix, "
                     f"IO/CPU breakdown", results, disk))
             else:
-                _print(render_cost_table(
+                _print_costs(
                     f"Figures 11/12 analog -- 500K-Uniform, {mix} mix, "
-                    f"per-op costs", results, disk))
+                    f"per-op costs", results, disk, metrics=True)
     elif name == "fig13":
         for paper_n, results in experiments.scaling(scale).items():
-            _print(render_cost_table(
+            _print_costs(
                 f"Figure 13 analog -- {paper_n // 1000}K objects, 50-50 mix",
-                results, disk))
+                results, disk)
     elif name == "fig14":
         for nd, results in experiments.skew(scale).items():
-            _print(render_cost_table(
+            _print_costs(
                 f"Figure 14 analog -- 500K-Skew ND={nd}, 50-50 mix",
-                results, disk))
+                results, disk)
     elif name == "structure":
         stats = experiments.structure_stats(scale)
         print(f"Section 5.1 analog -- structure statistics "
@@ -82,36 +110,74 @@ def run_experiment(name: str, scale: ExperimentScale) -> None:
         results = experiments.leaf_size_ablation(scale)
         _print(render_load("A1 -- two leaf sizes vs single size (load)",
                            results, disk))
-        _print(render_cost_table("A1 -- per-op costs", results, disk))
+        _print_costs("A1 -- per-op costs", results, disk)
     elif name == "ablation-pruning":
         results = experiments.pruning_ablation(scale)
-        _print(render_cost_table(
+        _print_costs(
             "A2 -- quad pruning on/off (same IOs, CPU differs)",
-            results, disk))
+            results, disk)
     elif name == "ablation-choosepath":
         results = experiments.choosepath_ablation(scale)
-        _print(render_cost_table("A3 -- TPR* ChoosePath vs greedy TPR",
-                                 results, disk))
+        _print_costs("A3 -- TPR* ChoosePath vs greedy TPR", results, disk)
     elif name == "ablation-horizon":
         results = experiments.horizon_ablation(scale)
         named = {f"H={h:g}": r for h, r in results.items()}
-        _print(render_cost_table("A4 -- TPR* metric-horizon sensitivity",
-                                 named, disk))
+        _print_costs("A4 -- TPR* metric-horizon sensitivity", named, disk)
     elif name == "sweep-dimension":
         for d, results in experiments.dimension_sweep(scale).items():
-            _print(render_cost_table(f"X4 -- dimensionality d={d}",
-                                     results, disk))
+            _print_costs(f"X4 -- dimensionality d={d}", results, disk)
     elif name == "sweep-selectivity":
         for fraction, results in experiments.selectivity_sweep(scale).items():
-            _print(render_cost_table(
-                f"X5 -- query area fraction {fraction}", results, disk))
+            _print_costs(
+                f"X5 -- query area fraction {fraction}", results, disk)
     elif name == "sweep-temporal":
         for window, results in experiments.temporal_range_sweep(
                 scale).items():
-            _print(render_cost_table(
-                f"X6 -- query temporal range W={window:g}", results, disk))
+            _print_costs(
+                f"X6 -- query temporal range W={window:g}", results, disk)
     else:
         raise ValueError(f"unknown experiment {name!r}")
+
+
+def run_explain(index: str, query_type: str, n_objects: int,
+                pool_pages: int, seed: int) -> int:
+    """Build a small index, replay updates, then trace one query."""
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.workload.generator import WorkloadSpec, generate_workload
+    from repro.workload.operations import QueryOp, UpdateOp
+
+    spec = WorkloadSpec(n_objects=n_objects,
+                        n_operations=max(200, n_objects // 2),
+                        seed=seed)
+    workload = generate_workload(spec)
+    registry = MetricsRegistry()
+    setup = EXPLAIN_BUILDERS[index](workload, pool_pages, registry=registry)
+    idx = setup.index
+
+    for state in workload.initial:
+        idx.insert(state)
+    wanted = QUERY_TYPE_NAMES[query_type]
+    target: Optional[QueryOp] = None
+    for op in workload.operations:
+        if isinstance(op, UpdateOp):
+            idx.update(op.old, op.new)
+        elif isinstance(op, QueryOp) and target is None \
+                and type(op.query).__name__ == wanted:
+            target = op
+            break
+    if target is None:
+        print(f"workload produced no {query_type} query; "
+              f"try a larger --n-objects", file=sys.stderr)
+        return 1
+
+    tracer = Tracer()
+    if index == "stripes":
+        result = idx.explain(target.query, tracer=tracer)
+    else:
+        result = idx.explain(target.query)
+    _print(result.format())
+    _print(render_metrics_snapshot("metrics snapshot:", registry.to_dict()))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -119,14 +185,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="stripes-bench",
         description="Regenerate the STRIPES paper's evaluation figures.")
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ("all",),
-                        help="which figure/table to regenerate")
+                        choices=EXPERIMENTS + ("all", "explain"),
+                        help="which figure/table to regenerate, or "
+                             "'explain' to trace one query descent")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="fraction of the paper's experiment size "
                              "(default 0.01; 1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=7,
                         help="workload random seed")
+    explain_group = parser.add_argument_group("explain options")
+    explain_group.add_argument("--index", choices=sorted(EXPLAIN_BUILDERS),
+                               default="stripes",
+                               help="index to explain (default stripes)")
+    explain_group.add_argument("--query-type",
+                               choices=sorted(QUERY_TYPE_NAMES),
+                               default="timeslice",
+                               help="query kind to trace "
+                                    "(default timeslice)")
+    explain_group.add_argument("--n-objects", type=int, default=2000,
+                               help="objects to load before tracing "
+                                    "(default 2000)")
+    explain_group.add_argument("--pool-pages", type=int, default=256,
+                               help="buffer-pool pages for explain "
+                                    "(default 256)")
     args = parser.parse_args(argv)
+    if args.experiment == "explain":
+        return run_explain(args.index, args.query_type, args.n_objects,
+                           args.pool_pages, args.seed)
     scale = ExperimentScale(scale=args.scale, seed=args.seed)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

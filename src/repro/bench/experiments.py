@@ -32,6 +32,7 @@ from repro.bench.runner import (
     run_workload,
 )
 from repro.core.quadtree import QuadTreeConfig
+from repro.obs import MetricsRegistry
 from repro.storage.page import PAGE_SIZE
 from repro.storage.stats import DiskModel
 from repro.workload.generator import WorkloadSpec, generate_workload
@@ -108,11 +109,14 @@ def _run_indexes(workload: Workload, scale: ExperimentScale,
                  ) -> Dict[str, RunResult]:
     results: Dict[str, RunResult] = {}
     for name in indexes:
-        setup = _BUILDERS[name](workload, scale.pool_pages)
+        registry = MetricsRegistry()
+        setup = _BUILDERS[name](workload, scale.pool_pages,
+                                registry=registry)
         results[name] = run_workload(
             setup, workload, n_ops=scale.n_ops,
             batch_size=batch_size if batch_size is not None
-            else scale.batch_size)
+            else scale.batch_size,
+            keep_per_op=True, registry=registry)
     return results
 
 
@@ -314,7 +318,8 @@ def leaf_size_ablation(scale: ExperimentScale,
         setup = make_stripes(workload, scale.pool_pages, quadtree=quadtree,
                              name=f"STRIPES[{label}]")
         results[label] = run_workload(setup, workload, n_ops=scale.n_ops,
-                                      batch_size=scale.batch_size)
+                                      batch_size=scale.batch_size,
+                                      keep_per_op=True)
     return results
 
 
@@ -332,7 +337,8 @@ def pruning_ablation(scale: ExperimentScale,
             quadtree=QuadTreeConfig(quad_pruning=pruning),
             name=f"STRIPES[{label}]")
         results[label] = run_workload(setup, workload, n_ops=scale.n_ops,
-                                      batch_size=scale.batch_size)
+                                      batch_size=scale.batch_size,
+                                      keep_per_op=True)
     return results
 
 
@@ -357,7 +363,8 @@ def horizon_ablation(scale: ExperimentScale,
         setup = make_tprstar(workload, scale.pool_pages, horizon=horizon,
                              name=f"TPR*[H={horizon:g}]")
         results[horizon] = run_workload(setup, workload, n_ops=scale.n_ops,
-                                        batch_size=scale.batch_size)
+                                        batch_size=scale.batch_size,
+                                        keep_per_op=True)
     return results
 
 

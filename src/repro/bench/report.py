@@ -10,10 +10,10 @@ and CPU columns are the comparable quantities.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.runner import RunResult
-from repro.storage.stats import DiskModel
+from repro.storage.stats import CostAccumulator, DiskModel
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -100,6 +100,57 @@ def render_batches(title: str, results: Dict[str, RunResult],
             row.append(batches[b].physical_io if b < len(batches) else "-")
         rows.append(row)
     return format_table(headers, rows, title)
+
+
+def _percentile_cells(acc: CostAccumulator,
+                      disk: Optional[DiskModel]) -> List[str]:
+    if not acc.per_op_costs():
+        return ["-", "-", "-"]
+    return [f"{acc.percentile(q, disk) * 1e3:.3f}"
+            for q in (0.50, 0.95, 0.99)]
+
+
+LATENCY_HEADERS = ["index",
+                   "upd p50 ms", "upd p95 ms", "upd p99 ms",
+                   "qry p50 ms", "qry p95 ms", "qry p99 ms"]
+
+
+def render_latency_table(title: str, results: Dict[str, RunResult],
+                         disk: Optional[DiskModel] = None) -> str:
+    """Tail-latency percentiles per operation kind.
+
+    Requires per-op costs retained by ``run_workload(keep_per_op=True)``
+    (columns show ``-`` otherwise).  Without ``disk`` the percentiles are
+    over measured CPU milliseconds; with it, modelled IO time is added.
+    """
+    rows = []
+    for name, result in results.items():
+        rows.append([name]
+                    + _percentile_cells(result.updates, disk)
+                    + _percentile_cells(result.queries, disk))
+    return format_table(LATENCY_HEADERS, rows, title)
+
+
+def render_metrics_snapshot(title: str, snapshot: dict,
+                            prefix: str = "") -> str:
+    """A metrics-registry snapshot (``MetricsRegistry.to_dict()``) as
+    plain text: counters and gauges one per line, histograms as a
+    count/sum/percentile summary.  ``prefix`` filters by name prefix."""
+    lines = [title] if title else []
+    for name in sorted(snapshot.get("counters", {})):
+        if name.startswith(prefix):
+            lines.append(f"  {name} = {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        if name.startswith(prefix):
+            lines.append(f"  {name} = {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot.get("histograms", {})):
+        if not name.startswith(prefix):
+            continue
+        h = snapshot["histograms"][name]
+        lines.append(
+            f"  {name}: count={h['count']} sum={h['sum']:.6g} "
+            f"p50={h['p50']:.6g} p95={h['p95']:.6g} p99={h['p99']:.6g}")
+    return "\n".join(lines)
 
 
 def render_load(title: str, results: Dict[str, RunResult],

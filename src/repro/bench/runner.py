@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.scan import ScanIndex
 from repro.core.quadtree import QuadTreeConfig
 from repro.core.stripes import StripesConfig, StripesIndex
+from repro.obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.node_store import RecordStore
 from repro.storage.pagefile import InMemoryPageFile
@@ -49,38 +50,49 @@ class IndexSetup:
 def make_stripes(workload: Workload, pool_pages: int,
                  lifetime: float = DEFAULT_LIFETIME, float32: bool = False,
                  quadtree: Optional[QuadTreeConfig] = None,
-                 name: str = "STRIPES") -> IndexSetup:
+                 name: str = "STRIPES",
+                 registry: Optional[MetricsRegistry] = None) -> IndexSetup:
     """A STRIPES index sized for ``workload`` over a fresh pool."""
     pool = BufferPool(InMemoryPageFile(), capacity=pool_pages)
     config = StripesConfig(
         vmax=workload.vmax, pmax=workload.pmax, lifetime=lifetime,
         float32=float32,
         quadtree=quadtree if quadtree is not None else QuadTreeConfig())
-    return IndexSetup(name, StripesIndex(config, pool), pool)
+    index = StripesIndex(config, pool)
+    if registry is not None:
+        index.attach_metrics(registry)
+    return IndexSetup(name, index, pool)
 
 
 def _make_tpr(cls, workload: Workload, pool_pages: int, horizon: float,
-              float32: bool, name: str) -> IndexSetup:
+              float32: bool, name: str,
+              registry: Optional[MetricsRegistry] = None) -> IndexSetup:
     pool = BufferPool(InMemoryPageFile(), capacity=pool_pages)
     config = TPRTreeConfig(d=len(workload.pmax), horizon=horizon,
                            float32=float32,
                            delete_eps=1e-4 if float32 else 1e-7)
-    return IndexSetup(name, cls(config, RecordStore(pool)), pool)
+    index = cls(config, RecordStore(pool))
+    if registry is not None:
+        index.attach_metrics(registry)
+    return IndexSetup(name, index, pool)
 
 
 def make_tprstar(workload: Workload, pool_pages: int,
                  horizon: float = DEFAULT_HORIZON, float32: bool = False,
-                 name: str = "TPR*") -> IndexSetup:
+                 name: str = "TPR*",
+                 registry: Optional[MetricsRegistry] = None) -> IndexSetup:
     """A TPR*-tree sized for ``workload`` over a fresh pool."""
     return _make_tpr(TPRStarTree, workload, pool_pages, horizon, float32,
-                     name)
+                     name, registry)
 
 
 def make_tpr(workload: Workload, pool_pages: int,
              horizon: float = DEFAULT_HORIZON, float32: bool = False,
-             name: str = "TPR") -> IndexSetup:
+             name: str = "TPR",
+             registry: Optional[MetricsRegistry] = None) -> IndexSetup:
     """A base TPR-tree (greedy insert, no forced reinsert)."""
-    return _make_tpr(TPRTree, workload, pool_pages, horizon, float32, name)
+    return _make_tpr(TPRTree, workload, pool_pages, horizon, float32, name,
+                     registry)
 
 
 def make_scan(workload: Workload, lifetime: float = DEFAULT_LIFETIME,
@@ -118,6 +130,14 @@ class RunResult:
     batches: List[BatchCost] = field(default_factory=list)
     query_hits: int = 0
     pages_used: int = 0
+    #: Registry snapshots taken as each phase completes, keyed by phase
+    #: name ("load", "ops"); empty when no registry was passed.
+    phase_metrics: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> Optional[dict]:
+        """The final metrics snapshot (after the op stream), if any."""
+        return self.phase_metrics.get("ops")
 
     @property
     def ops(self) -> int:
@@ -137,18 +157,33 @@ class RunResult:
 def run_workload(setup: IndexSetup, workload: Workload,
                  n_ops: Optional[int] = None,
                  batch_size: Optional[int] = None,
-                 on_batch: Optional[Callable[[BatchCost], None]] = None
-                 ) -> RunResult:
+                 on_batch: Optional[Callable[[BatchCost], None]] = None,
+                 keep_per_op: bool = False,
+                 registry: Optional[MetricsRegistry] = None) -> RunResult:
     """Load the initial objects, then replay (a prefix of) the operation
     stream, measuring every operation.
 
     ``batch_size`` groups operations into :class:`BatchCost` buckets (the
     paper plots batches of 5K ops in Figure 9).  ``on_batch`` is invoked as
-    each batch completes.
+    each batch completes.  ``keep_per_op`` retains each operation's cost so
+    the accumulators can answer percentile queries afterwards.  With a
+    ``registry``, per-op wall times feed ``bench_update_latency_seconds`` /
+    ``bench_query_latency_seconds`` histograms and a snapshot of the whole
+    registry is stored in :attr:`RunResult.phase_metrics` after each phase
+    (pass the same registry to the ``make_*`` builder to fold the index's
+    own instruments into those snapshots).
     """
     index = setup.index
     pool = setup.pool
     result = RunResult(setup.name)
+    update_hist = query_hist = None
+    if registry is not None:
+        update_hist = registry.histogram(
+            "bench_update_latency_seconds", DEFAULT_LATENCY_BUCKETS_S,
+            help="wall time per replayed update/insert operation")
+        query_hist = registry.histogram(
+            "bench_query_latency_seconds", DEFAULT_LATENCY_BUCKETS_S,
+            help="wall time per replayed query operation")
 
     def measure() -> tuple:
         if pool is None:
@@ -164,7 +199,10 @@ def run_workload(setup: IndexSetup, workload: Workload,
     elapsed = time.perf_counter() - start
     after = measure()
     result.load.add(OperationCost(after[0] - before[0],
-                                  after[1] - before[1], elapsed))
+                                  after[1] - before[1], elapsed),
+                    keep=keep_per_op)
+    if registry is not None:
+        result.phase_metrics["load"] = registry.to_dict()
 
     operations = workload.operations
     if n_ops is not None:
@@ -179,20 +217,25 @@ def run_workload(setup: IndexSetup, workload: Workload,
         if isinstance(op, UpdateOp):
             index.update(op.old, op.new)
             kind = result.updates
+            hist = update_hist
         elif isinstance(op, InsertOp):
             index.insert(op.state)
             kind = result.updates
+            hist = update_hist
         elif isinstance(op, QueryOp):
             hits = index.query(op.query)
             result.query_hits += len(hits)
             kind = result.queries
+            hist = query_hist
         else:  # pragma: no cover - exhaustive over Operation
             raise TypeError(f"unknown operation {type(op).__name__}")
         elapsed = time.perf_counter() - start
         after = measure()
         cost = OperationCost(after[0] - before[0], after[1] - before[1],
                              elapsed)
-        kind.add(cost)
+        kind.add(cost, keep=keep_per_op)
+        if hist is not None:
+            hist.observe(elapsed)
         batch.ops += 1
         batch.physical_reads += cost.physical_reads
         batch.physical_writes += cost.physical_writes
@@ -207,4 +250,6 @@ def run_workload(setup: IndexSetup, workload: Workload,
         if on_batch is not None:
             on_batch(batch)
     result.pages_used = setup.pages_in_use()
+    if registry is not None:
+        result.phase_metrics["ops"] = registry.to_dict()
     return result

@@ -41,6 +41,7 @@ from repro.core.nodes import (
     NonLeafNode,
 )
 from repro.core.query_region import QueryRegion2D, RelPos
+from repro.obs.tracer import DescentTrace
 from repro.storage.node_store import NodeCache, RecordStore
 
 
@@ -82,6 +83,32 @@ class QuadTreeConfig:
                 raise ValueError(
                     f"leaf_size_ladder must be strictly increasing, got "
                     f"{sizes}")
+
+
+@dataclass
+class QuadTreeCounters:
+    """Monotonic per-tree operation counters.
+
+    These are plain integer attributes incremented unconditionally --
+    the events are either rare (splits, promotions, collapses) or a
+    single increment per operation, so the cost is negligible -- and are
+    mirrored into a :class:`repro.obs.metrics.MetricsRegistry` by
+    :meth:`repro.core.stripes.StripesIndex.attach_metrics`.
+    """
+
+    inserts: int = 0
+    deletes: int = 0
+    searches: int = 0
+    leaf_promotions: int = 0
+    leaf_splits: int = 0
+    collapses: int = 0
+    overflow_spills: int = 0
+
+    def merge(self, other: "QuadTreeCounters") -> "QuadTreeCounters":
+        for f in ("inserts", "deletes", "searches", "leaf_promotions",
+                  "leaf_splits", "collapses", "overflow_spills"):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
 
 
 @dataclass
@@ -170,6 +197,10 @@ class DualQuadTree:
         # Plain attributes (not properties): these sit on query hot paths.
         self.d = space.d
         self.fanout = self.codec.fanout
+        self.counters = QuadTreeCounters()
+        #: Optional :class:`repro.obs.tracer.Tracer`; when set, structural
+        #: events (splits, promotions, collapses, spills) are recorded.
+        self.tracer = None
         if root is None:
             self.count = 0
             self._root_rid = self.cache.insert(
@@ -229,6 +260,7 @@ class DualQuadTree:
 
     def insert(self, point: DualPoint) -> None:
         """Insert a dual point (single root-to-leaf path)."""
+        self.counters.inserts += 1
         if self._root_is_leaf:
             leaf = self.cache.get(self._root_rid)
             self._root_rid, self._root_is_leaf = self._leaf_insert(
@@ -284,15 +316,28 @@ class DualQuadTree:
                     new_rid = self.cache.insert(
                         self.leaf_ladder[next_idx], promoted)
                     self.cache.free(rid)
+                    self.counters.leaf_promotions += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "quadtree.leaf_promotion", level=leaf.level,
+                            to_bytes=self.leaf_ladder[next_idx])
                     return new_rid, True
         if leaf.level >= self.config.max_depth:
             # Cannot split further: spill into an overflow chain.
             self._write_leaf_chain(rid, leaf, entries)
+            self.counters.overflow_spills += 1
+            if self.tracer is not None:
+                self.tracer.event("quadtree.overflow_spill",
+                                  level=leaf.level, entries=len(entries))
             return rid, True
         # Case 3: split -- the leaf becomes a non-leaf subtree.
         new_rid, is_leaf = self._build_subtree(
             leaf.level, leaf.v_corner, leaf.p_corner, entries)
         self._free_leaf_chain(rid, leaf)
+        self.counters.leaf_splits += 1
+        if self.tracer is not None:
+            self.tracer.event("quadtree.leaf_split", level=leaf.level,
+                              entries=len(entries))
         return new_rid, is_leaf
 
     def _build_subtree(self, level: int, v_corner: Tuple[float, ...],
@@ -395,6 +440,7 @@ class DualQuadTree:
         collapses) when no such entry exists -- the caller then treats the
         update as an insert of a new object (Section 4.4).
         """
+        self.counters.deletes += 1
         if self._root_is_leaf:
             leaf = self.cache.get(self._root_rid)
             return self._leaf_delete(self._root_rid, leaf, point)
@@ -454,6 +500,10 @@ class DualQuadTree:
         # With the default threshold (one leaf's capacity) the rebuild is
         # always a single leaf; a larger configured threshold can rebuild
         # a (smaller) subtree instead.
+        self.counters.collapses += 1
+        if self.tracer is not None:
+            self.tracer.event("quadtree.collapse", level=node.level,
+                              entries=len(entries))
         new_rid, new_is_leaf = self._build_subtree(
             node.level, node.v_corner, node.p_corner, entries)
         if parent_rid == INVALID_RID:
@@ -492,7 +542,8 @@ class DualQuadTree:
     # Search (Section 4.6.4)
     # ------------------------------------------------------------------ #
 
-    def search(self, regions: Tuple[QueryRegion2D, ...]) -> List[DualPoint]:
+    def search(self, regions: Tuple[QueryRegion2D, ...],
+               trace: Optional[DescentTrace] = None) -> List[DualPoint]:
         """Entries inside the query body given one region per dual plane.
 
         Per-plane region membership is exact per dimension but -- for
@@ -501,16 +552,22 @@ class DualQuadTree:
         Callers needing exact answers refine the returned candidates with
         the native-space predicate; :class:`repro.core.stripes.StripesIndex`
         does this by default.
+
+        ``trace`` (a :class:`repro.obs.tracer.DescentTrace`) records the
+        descent -- nodes visited, per-quad INSIDE/OVERLAP/DISJUNCT
+        classifications, entries scanned -- at a small per-node cost; the
+        default ``None`` leaves the hot path untouched.
         """
         if len(regions) != self.d:
             raise ValueError(
                 f"expected {self.d} query regions, got {len(regions)}")
+        self.counters.searches += 1
         results: List[DualPoint] = []
         if self._root_is_leaf:
             leaf = self.cache.get(self._root_rid)
-            self._filter_leaf(leaf, regions, results)
+            self._filter_leaf(leaf, regions, results, trace)
         else:
-            self._search_nonleaf(self._root_rid, regions, results)
+            self._search_nonleaf(self._root_rid, regions, results, trace, 0)
         return results
 
     def _point_matches(self, entry: DualPoint,
@@ -520,8 +577,13 @@ class DualQuadTree:
 
     def _filter_leaf(self, leaf: LeafNode,
                      regions: Tuple[QueryRegion2D, ...],
-                     results: List[DualPoint]) -> None:
+                     results: List[DualPoint],
+                     trace: Optional[DescentTrace] = None) -> None:
         entries = self._leaf_all_entries(leaf)
+        if trace is not None:
+            trace.leaf_visits += 1
+            trace.entries_scanned += len(entries)
+            before = len(results)
         if self.d == 2:
             # Hand-unrolled two-dimensional path: this loop runs once per
             # candidate entry and dominates query CPU time.
@@ -533,15 +595,23 @@ class DualQuadTree:
                 if (r0.contains_point(v[0], p[0])
                         and r1.contains_point(v[1], p[1])):
                     append(entry)
-            return
-        for entry in entries:
-            if self._point_matches(entry, regions):
-                results.append(entry)
+        else:
+            for entry in entries:
+                if self._point_matches(entry, regions):
+                    results.append(entry)
+        if trace is not None:
+            trace.candidates += len(results) - before
 
     def _search_nonleaf(self, rid: int, regions: Tuple[QueryRegion2D, ...],
-                        results: List[DualPoint]) -> None:
+                        results: List[DualPoint],
+                        trace: Optional[DescentTrace] = None,
+                        depth: int = 0) -> None:
         node = self.cache.get(rid)
         sl_v, sl_p = self._child_sides(node.level + 1)
+        if trace is not None:
+            trace.nonleaf_visits += 1
+            if depth > trace.max_depth:
+                trace.max_depth = depth
         if self.config.quad_pruning:
             # Classify each plane's four quads once (Section 4.6.4); each
             # child then just combines its per-plane codes.
@@ -554,6 +624,15 @@ class DualQuadTree:
                     quads.append(regions[i].classify_rect(
                         v1, v1 + sl_v[i], p1, p1 + sl_p[i]))
                 plane_rel.append(quads)
+            if trace is not None:
+                for quads in plane_rel:
+                    for rel in quads:
+                        if rel is RelPos.INSIDE:
+                            trace.quads_inside += 1
+                        elif rel is RelPos.DISJUNCT:
+                            trace.quads_disjunct += 1
+                        else:
+                            trace.quads_overlap += 1
         for idx in range(self.fanout):
             child_rid = node.children[idx]
             if child_rid == INVALID_RID:
@@ -569,21 +648,39 @@ class DualQuadTree:
                     p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
                     rel = regions[i].classify_rect(
                         v1, v1 + sl_v[i], p1, p1 + sl_p[i])
+                    if trace is not None:
+                        if rel is RelPos.INSIDE:
+                            trace.quads_inside += 1
+                        elif rel is RelPos.DISJUNCT:
+                            trace.quads_disjunct += 1
+                        else:
+                            trace.quads_overlap += 1
                 if rel is RelPos.DISJUNCT:
                     disjunct = True
                     break
                 if rel is not RelPos.INSIDE:
                     all_inside = False
             if disjunct:
+                if trace is not None:
+                    trace.children_pruned += 1
                 continue
             if all_inside:
+                if trace is not None:
+                    trace.children_reported += 1
                 self._report_subtree(child_rid, node.child_is_leaf[idx],
-                                     results)
+                                     results, trace)
             elif node.child_is_leaf[idx]:
                 leaf = self.cache.get(child_rid)
-                self._filter_leaf(leaf, regions, results)
+                if trace is not None:
+                    trace.children_recursed += 1
+                    if depth + 1 > trace.max_depth:
+                        trace.max_depth = depth + 1
+                self._filter_leaf(leaf, regions, results, trace)
             else:
-                self._search_nonleaf(child_rid, regions, results)
+                if trace is not None:
+                    trace.children_recursed += 1
+                self._search_nonleaf(child_rid, regions, results, trace,
+                                     depth + 1)
 
     def count_in_regions(self, regions: Tuple[QueryRegion2D, ...]) -> int:
         """Number of entries inside the query body.
@@ -649,15 +746,25 @@ class DualQuadTree:
         return total
 
     def _report_subtree(self, rid: int, is_leaf: bool,
-                        results: List[DualPoint]) -> None:
+                        results: List[DualPoint],
+                        trace: Optional[DescentTrace] = None) -> None:
         if is_leaf:
             leaf = self.cache.get(rid)
-            results.extend(self._leaf_all_entries(leaf))
+            entries = self._leaf_all_entries(leaf)
+            if trace is not None:
+                # Reported wholesale (all-INSIDE): entries become
+                # candidates without any per-entry geometry test.
+                trace.leaf_visits += 1
+                trace.entries_reported += len(entries)
+                trace.candidates += len(entries)
+            results.extend(entries)
             return
         node = self.cache.get(rid)
+        if trace is not None:
+            trace.nonleaf_visits += 1
         for idx in node.present_children():
             self._report_subtree(node.children[idx], node.child_is_leaf[idx],
-                                 results)
+                                 results, trace)
 
     # ------------------------------------------------------------------ #
     # Bulk access, teardown, statistics

@@ -32,8 +32,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.dual import DualSpace
-from repro.core.quadtree import DualQuadTree, QuadTreeConfig, QuadTreeStats
+from repro.core.quadtree import (
+    DualQuadTree,
+    QuadTreeConfig,
+    QuadTreeCounters,
+    QuadTreeStats,
+)
 from repro.core.query_region import build_query_regions
+from repro.obs.explain import QueryExplain, SubIndexExplain
+from repro.obs.tracer import DescentTrace, Tracer
 from repro.query.predicates import MovingQueryEvaluator
 from repro.query.types import MovingObjectState, PredictiveQuery
 from repro.storage.buffer_pool import BufferPool
@@ -76,6 +83,16 @@ class StripesIndex:
         self.store = RecordStore(pool)
         # Lifetime-window number -> sub-index.
         self._trees: Dict[int, DualQuadTree] = {}
+        #: Sub-index rotations performed (windows destroyed wholesale).
+        self.rotations = 0
+        #: Optional :class:`repro.obs.tracer.Tracer` shared with every
+        #: sub-index; set via :meth:`attach_tracer`.
+        self.tracer: Optional[Tracer] = None
+        # Counters of retired sub-indexes, folded in at rotation so the
+        # aggregate metrics stay monotonic across window destruction.
+        self._retired_counters = QuadTreeCounters()
+        self._retired_cache_hits = 0
+        self._retired_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Window management (Section 4.1)
@@ -96,6 +113,7 @@ class StripesIndex:
                           t_ref=window * self.config.lifetime,
                           float32=self.config.float32)
         tree = DualQuadTree(space, self.store, self.config.quadtree)
+        tree.tracer = self.tracer
         self._trees[window] = tree
         self._retire_expired(newest=max(self._trees))
         return tree
@@ -104,7 +122,15 @@ class StripesIndex:
         """Keep only the two newest lifetime windows; entries in older
         windows have exceeded their lifetime and are dropped wholesale."""
         for window in [w for w in self._trees if w < newest - 1]:
-            self._trees.pop(window).destroy()
+            tree = self._trees.pop(window)
+            self._retired_counters.merge(tree.counters)
+            self._retired_cache_hits += tree.cache.hits
+            self._retired_cache_misses += tree.cache.misses
+            self.rotations += 1
+            if self.tracer is not None:
+                self.tracer.event("stripes.rotation", window=window,
+                                  entries_dropped=tree.count)
+            tree.destroy()
 
     @property
     def live_windows(self) -> List[int]:
@@ -208,6 +234,55 @@ class StripesIndex:
                 survivors.append(entry.oid)
         return survivors
 
+    def explain(self, query: PredictiveQuery, refine: bool = True,
+                tracer: Optional[Tracer] = None) -> QueryExplain:
+        """Run ``query`` once under tracing and return the full descent.
+
+        Produces the same answer as :meth:`query` plus, per live
+        sub-index, a :class:`repro.obs.tracer.DescentTrace` (nodes
+        visited, quads classified INSIDE/OVERLAP/DISJUNCT, children
+        pruned/reported, leaf records scanned) and the filter-and-refine
+        summary (candidates vs. refined-away).  ``tracer`` defaults to the
+        attached tracer or a fresh private one; spans for the descent and
+        refinement of each sub-index hang off the returned
+        :attr:`QueryExplain.span`.
+        """
+        moving = query.as_moving()
+        if moving.d != self.config.d:
+            raise ValueError(
+                f"query is {moving.d}-d but the index is {self.config.d}-d")
+        needs_refine = refine and moving.t_low < moving.t_high
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else Tracer()
+        out = QueryExplain(query=query, index_name="STRIPES",
+                           refined=needs_refine)
+        before = self.pool.stats.snapshot()
+        with tracer.span("stripes.query",
+                         kind=type(query).__name__) as root:
+            for window, tree in sorted(self._trees.items()):
+                label = f"window {window} (t_ref={tree.space.t_ref:g})"
+                trace = DescentTrace(label=label)
+                with tracer.span("stripes.descend", window=window):
+                    regions = build_query_regions(
+                        moving, self.config.vmax, self.config.lifetime,
+                        tree.space.t_ref)
+                    candidates = tree.search(regions, trace)
+                if needs_refine:
+                    with tracer.span("stripes.refine", window=window):
+                        matched = self._refine(tree.space, candidates,
+                                               moving)
+                else:
+                    matched = [entry.oid for entry in candidates]
+                out.sub_indexes.append(SubIndexExplain(
+                    label=label, trace=trace, candidates=len(candidates),
+                    matched=len(matched)))
+                out.results.extend(matched)
+        diff = self.pool.stats.diff(before)
+        out.logical_reads = diff.logical_reads
+        out.physical_reads = diff.physical_reads
+        out.span = root
+        return out
+
     def count(self, query: PredictiveQuery) -> int:
         """Number of objects matching the query.
 
@@ -269,6 +344,70 @@ class StripesIndex:
             tree.bulk_load(points)
             loaded += len(points)
         return loaded
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Share ``tracer`` with every live and future sub-index so
+        structural events (splits, promotions, collapses, rotations) are
+        recorded; pass ``None`` to detach."""
+        self.tracer = tracer
+        for tree in self._trees.values():
+            tree.tracer = tracer
+
+    def attach_metrics(self, registry, prefix: str = "stripes") -> None:
+        """Mirror the whole index's state into ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`).
+
+        Wires the buffer pool (``{prefix}_pool_*``), the record store
+        (``{prefix}_store_*``), aggregated per-sub-index operation
+        counters (inserts, deletes, searches, splits, promotions,
+        collapses, spills -- retired windows stay counted), node-cache
+        hit/miss counters, and index-level gauges (live entries, live
+        windows).  All pull-based: nothing on the update/query hot paths
+        touches the registry.
+        """
+        self.pool.attach_metrics(registry, prefix=f"{prefix}_pool")
+        self.store.attach_metrics(registry, prefix=f"{prefix}_store")
+        op_counters = {
+            name: registry.counter(f"{prefix}_{name}_total",
+                                   help=f"quadtree {name.replace('_', ' ')}")
+            for name in ("inserts", "deletes", "searches", "leaf_promotions",
+                         "leaf_splits", "collapses", "overflow_spills")
+        }
+        rotations = registry.counter(f"{prefix}_rotations_total",
+                                     help="sub-index windows destroyed")
+        cache_hits = registry.counter(
+            f"{prefix}_node_cache_hits_total",
+            help="node reads served without deserialize")
+        cache_misses = registry.counter(
+            f"{prefix}_node_cache_misses_total",
+            help="node reads that deserialized bytes")
+        entries = registry.gauge(f"{prefix}_entries",
+                                 help="live (non-expired) entries")
+        windows = registry.gauge(f"{prefix}_live_windows",
+                                 help="live lifetime windows (at most 2)")
+
+        def collect() -> None:
+            agg = QuadTreeCounters()
+            agg.merge(self._retired_counters)
+            hits = self._retired_cache_hits
+            misses = self._retired_cache_misses
+            for tree in self._trees.values():
+                agg.merge(tree.counters)
+                hits += tree.cache.hits
+                misses += tree.cache.misses
+            for name, counter in op_counters.items():
+                counter.set_total(getattr(agg, name))
+            rotations.set_total(self.rotations)
+            cache_hits.set_total(hits)
+            cache_misses.set_total(misses)
+            entries.set(len(self))
+            windows.set(len(self._trees))
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------ #
     # Introspection

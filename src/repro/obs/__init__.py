@@ -1,0 +1,39 @@
+"""Observability layer: metrics registry, tracer, and explain plumbing.
+
+Everything here is dependency-free and *pull-based*: index and storage
+classes keep plain integer counters on their hot paths and expose
+``attach_metrics(registry)`` hooks that register collectors copying those
+integers into the registry at export time.  With nothing attached, the
+instrumentation cost is an attribute increment (counters) or a single
+``is None`` check (tracing) -- see docs/OBSERVABILITY.md.
+
+* :class:`MetricsRegistry` -- counters / gauges / fixed-bucket
+  histograms, Prometheus text exposition, JSON export.
+* :class:`Tracer` / :class:`Span` -- nested structured spans with events.
+* :class:`DescentTrace` -- per-query descent counters (nodes visited,
+  INSIDE/OVERLAP/DISJUNCT quads, records scanned).
+* :class:`QueryExplain` -- the object ``StripesIndex.explain`` returns.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import DescentTrace, Span, Tracer
+from repro.obs.explain import QueryExplain, SubIndexExplain
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Tracer",
+    "Span",
+    "DescentTrace",
+    "QueryExplain",
+    "SubIndexExplain",
+]

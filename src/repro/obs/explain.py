@@ -1,0 +1,83 @@
+"""Structured ``explain()`` results for one traced query.
+
+:meth:`repro.StripesIndex.explain` and :meth:`repro.tpr.TPRTree.explain`
+run a single query with a :class:`repro.obs.tracer.DescentTrace` threaded
+through the descent and return the objects below.  ``format()`` renders
+the trace the way EXPLAIN ANALYZE renders a plan: one block per live
+sub-index (STRIPES keeps up to two), then the filter/refine summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.tracer import DescentTrace, Span
+
+
+@dataclass
+class SubIndexExplain:
+    """One sub-index's share of a traced query descent."""
+
+    label: str
+    trace: DescentTrace
+    candidates: int = 0
+    matched: int = 0
+
+    @property
+    def refined_away(self) -> int:
+        """Candidates discarded by the exact common-instant refinement."""
+        return self.candidates - self.matched
+
+
+@dataclass
+class QueryExplain:
+    """The full trace of one query across every live sub-index."""
+
+    query: object
+    index_name: str = "STRIPES"
+    refined: bool = False
+    sub_indexes: List[SubIndexExplain] = field(default_factory=list)
+    results: List[int] = field(default_factory=list)
+    physical_reads: int = 0
+    logical_reads: int = 0
+    span: Optional[Span] = None
+
+    @property
+    def candidates(self) -> int:
+        return sum(s.candidates for s in self.sub_indexes)
+
+    @property
+    def refined_away(self) -> int:
+        return sum(s.refined_away for s in self.sub_indexes)
+
+    def total_trace(self) -> DescentTrace:
+        """All sub-index descents merged into one counter block."""
+        total = DescentTrace(label="total")
+        for sub in self.sub_indexes:
+            total.merge(sub.trace)
+        return total
+
+    def format(self) -> str:
+        """EXPLAIN-style text rendering of the traced descent."""
+        lines = [f"{self.index_name} explain: {self.query!r}"]
+        lines.append(
+            f"  refinement: "
+            f"{'exact common-instant' if self.refined else 'off'}"
+            f" | IO: {self.logical_reads} logical, "
+            f"{self.physical_reads} physical page reads")
+        for sub in self.sub_indexes:
+            lines.append(f"  descent [{sub.label}]:")
+            lines.extend(sub.trace.format_lines(indent="    "))
+            lines.append(f"    matched           {sub.matched}"
+                         f" (refined away {sub.refined_away})")
+        if len(self.sub_indexes) > 1:
+            lines.append("  combined:")
+            lines.extend(self.total_trace().format_lines(indent="    "))
+        lines.append(f"  result: {len(self.results)} object(s)"
+                     f" | candidates {self.candidates}, refined away "
+                     f"{self.refined_away}")
+        if self.span is not None:
+            lines.append("  spans:")
+            lines.extend("    " + line for line in self.span.tree_lines())
+        return "\n".join(lines)

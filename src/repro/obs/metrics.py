@@ -1,0 +1,353 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the pull-based hub of the observability layer.  Hot-path
+code never talks to it directly: the storage/index layers keep plain
+integer counters (an attribute increment costs nanoseconds) and register
+*collectors* -- callbacks that copy those integers into registry
+instruments right before an export.  Instrument reads therefore always
+reflect the live system, while the instrumented hot paths carry no
+registry reference at all.
+
+Two export formats are supported:
+
+* :meth:`MetricsRegistry.expose_text` -- the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``_bucket{le="..."}`` histogram
+  series), scrape-ready;
+* :meth:`MetricsRegistry.to_dict` / :meth:`MetricsRegistry.to_json` --
+  a nested plain-data snapshot for programmatic consumption (the benchmark
+  reports embed these).
+
+Metric names follow the Prometheus convention (``snake_case``, counters
+end in ``_total``); see docs/OBSERVABILITY.md for the catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+#: Default histogram buckets for operation latencies, in seconds.  The
+#: micro-operations of this codebase span ~10 us (a cached insert) to
+#: ~100 ms (a cold full-space query at paper scale).
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r} (must match "
+                         f"{_NAME_RE.pattern})")
+    return name
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value the way the Prometheus text format does:
+    integers without a fractional part, floats via ``repr``."""
+    if isinstance(value, bool):  # bools are ints; refuse the ambiguity
+        raise TypeError("metric values must be numbers, not bool")
+    if isinstance(value, int):
+        return str(value)
+    if value == math.floor(value) and abs(value) < 1e15 and math.isfinite(
+            value):
+        return str(int(value))
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value: float = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total -- for pull collectors that mirror an
+        externally maintained monotonic count (e.g. ``IOStats``)."""
+        self._value = value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, "", self._value)]
+
+    def to_value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value: float = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, "", self._value)]
+
+    def to_value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; a ``+Inf`` bucket is implicit.
+    :meth:`percentile` estimates quantiles by linear interpolation inside
+    the containing bucket, which is exact enough for latency reporting with
+    the default exponential bucket ladder.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "_sum", "_count")
+
+    def __init__(self, name: str, buckets: Sequence[float]
+                 = DEFAULT_LATENCY_BUCKETS_S, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing: {bounds}")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError("histogram bucket bounds must be finite "
+                             "(+Inf is implicit)")
+        self.bounds = bounds
+        # One slot per finite bound plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value (inclusive upper bounds)
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+        self._sum += value
+        self._count += 1
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of the observations.
+
+        Interpolates linearly within the containing bucket (the first
+        bucket's lower edge is 0, matching latency semantics).  Returns 0.0
+        with no observations; observations in the ``+Inf`` bucket clamp to
+        the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i]
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * max(0.0, fraction)
+        return self.bounds[-1]  # pragma: no cover - cumulative == count
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        out: List[Tuple[str, str, float]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            out.append((f"{self.name}_bucket",
+                        f'{{le="{_format_number(bound)}"}}', cumulative))
+        out.append((f"{self.name}_bucket", '{le="+Inf"}', self._count))
+        out.append((f"{self.name}_sum", "", self._sum))
+        out.append((f"{self.name}_count", "", self._count))
+        return out
+
+    def to_value(self) -> Dict[str, object]:
+        buckets: Dict[str, int] = {}
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            buckets[_format_number(bound)] = cumulative
+        buckets["+Inf"] = self._count
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": buckets,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus pull collectors, with text/JSON exposition.
+
+    Instrument accessors are get-or-create: asking twice for the same name
+    returns the same object, asking with a conflicting kind raises.  All
+    instruments live in one flat Prometheus-style namespace.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Instrument creation / lookup
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).kind}, not {cls.kind}")
+            return metric
+        metric = cls(name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+                  help: str = "") -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at
+        creation; a second call's ``buckets`` argument is ignored)."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # Collectors
+    # ------------------------------------------------------------------ #
+
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run before every export; collectors copy
+        externally maintained counters into registry instruments."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector (exports call this for you)."""
+        for collector in self._collectors:
+            collector()
+
+    # ------------------------------------------------------------------ #
+    # Exports
+    # ------------------------------------------------------------------ #
+
+    def expose_text(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        self.collect()
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{labels} {_format_number(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot as ``{kind: {name: value-or-histogram-dict}}``."""
+        self.collect()
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[metric.kind + "s"][name] = metric.to_value()
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` serialized as JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def reset(self) -> None:
+        """Zero every instrument (collectors stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()

@@ -1,0 +1,189 @@
+"""Structured spans and query-descent traces.
+
+Two complementary instruments live here:
+
+* :class:`Tracer` / :class:`Span` -- a nested-span recorder in the shape
+  of a minimal OpenTelemetry: ``with tracer.span("stripes.query"):``
+  opens a span, spans nest via a stack, point-in-time *events* (a leaf
+  split, a sub-index rotation) attach to whatever span is open.  Index
+  classes hold an optional tracer reference that is ``None`` by default,
+  so the hot paths pay a single identity check when tracing is off.
+
+* :class:`DescentTrace` -- the flat counter block filled in by one query
+  descent: nodes visited, quads classified INSIDE / OVERLAP / DISJUNCT,
+  children pruned or reported wholesale, leaf records scanned, and
+  candidates produced.  This is what ``explain()`` prints and what the
+  velocity/speed-partitioning follow-up papers need as per-query
+  statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One timed, named unit of work with attributes, events, children."""
+
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    events: List[Tuple[str, Dict[str, object]]] = field(default_factory=list)
+    children: List["Span"] = field(default_factory=list)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+
+    def add_event(self, name: str, **attrs: object) -> None:
+        self.events.append((name, attrs))
+
+    def tree_lines(self, indent: int = 0) -> List[str]:
+        """Pretty-print the span subtree, one line per span/event."""
+        pad = "  " * indent
+        attrs = "".join(f" {k}={v}" for k, v in self.attrs.items())
+        lines = [f"{pad}{self.name}{attrs} ({self.duration_s * 1e3:.3f} ms)"]
+        for name, event_attrs in self.events:
+            extra = "".join(f" {k}={v}" for k, v in event_attrs.items())
+            lines.append(f"{pad}  * {name}{extra}")
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+
+class Tracer:
+    """Records a forest of nested spans.
+
+    Spans are cheap plain objects; a tracer is meant to be attached for
+    one traced operation (or a debugging session) and read back via
+    :attr:`roots`.  Not thread-safe -- one tracer per thread.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.roots: List[Span] = []
+        #: Events recorded while no span was open (e.g. a sub-index
+        #: rotation triggered by a plain update).
+        self.orphan_events: List[Tuple[str, Dict[str, object]]] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block."""
+        span = Span(name, dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start_s = self._clock()
+        try:
+            yield span
+        finally:
+            span.duration_s = self._clock() - span.start_s
+            self._stack.pop()
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach a point-in-time event to the open span; with no span
+        open the event is kept in :attr:`orphan_events` instead."""
+        if self._stack:
+            self._stack[-1].add_event(name, **attrs)
+        else:
+            self.orphan_events.append((name, attrs))
+
+    def reset(self) -> None:
+        """Drop all recorded spans and orphan events (open spans keep
+        recording)."""
+        self.roots = []
+        self.orphan_events = []
+
+    def format(self) -> str:
+        """All recorded root spans (and orphan events) as an indented
+        text tree."""
+        lines: List[str] = []
+        for root in self.roots:
+            lines.extend(root.tree_lines())
+        for name, attrs in self.orphan_events:
+            extra = "".join(f" {k}={v}" for k, v in attrs.items())
+            lines.append(f"* {name}{extra}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DescentTrace:
+    """Counters filled in by one index descent (query or explain).
+
+    The quad counters are per *plane quad* classification (4 per dual
+    plane per visited non-leaf, under the Section 4.6.4 shared-
+    classification optimisation); the children counters are per child
+    subtree after combining its per-plane codes.  ``tpbr_tests`` is the
+    TPR-tree analogue (one time-parameterized rectangle intersection test
+    per child).
+    """
+
+    label: str = ""
+    nonleaf_visits: int = 0
+    leaf_visits: int = 0
+    max_depth: int = 0
+    quads_inside: int = 0
+    quads_overlap: int = 0
+    quads_disjunct: int = 0
+    children_pruned: int = 0
+    children_reported: int = 0
+    children_recursed: int = 0
+    entries_scanned: int = 0
+    entries_reported: int = 0
+    candidates: int = 0
+    tpbr_tests: int = 0
+
+    _COUNTER_FIELDS = ("nonleaf_visits", "leaf_visits", "quads_inside",
+                       "quads_overlap", "quads_disjunct", "children_pruned",
+                       "children_reported", "children_recursed",
+                       "entries_scanned", "entries_reported", "candidates",
+                       "tpbr_tests")
+
+    @property
+    def nodes_visited(self) -> int:
+        return self.nonleaf_visits + self.leaf_visits
+
+    @property
+    def quads_classified(self) -> int:
+        return self.quads_inside + self.quads_overlap + self.quads_disjunct
+
+    def merge(self, other: "DescentTrace") -> "DescentTrace":
+        """Fold ``other``'s counters into self (``max_depth`` maxes)."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.max_depth = max(self.max_depth, other.max_depth)
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "label"}
+
+    def format_lines(self, indent: str = "  ") -> List[str]:
+        """Human-readable counter block (used by ``explain`` output)."""
+        rows = [
+            ("nodes visited", f"{self.nodes_visited} "
+             f"({self.nonleaf_visits} non-leaf + {self.leaf_visits} leaf, "
+             f"max depth {self.max_depth})"),
+            ("quads classified", f"{self.quads_classified} "
+             f"(INSIDE {self.quads_inside} / OVERLAP {self.quads_overlap} "
+             f"/ DISJUNCT {self.quads_disjunct})"),
+            ("children", f"pruned {self.children_pruned}, reported whole "
+             f"{self.children_reported}, recursed {self.children_recursed}"),
+            ("leaf entries", f"scanned {self.entries_scanned}, reported "
+             f"without scan {self.entries_reported}"),
+            ("candidates", str(self.candidates)),
+        ]
+        if self.tpbr_tests:
+            rows.insert(2, ("TPBR tests", str(self.tpbr_tests)))
+        width = max(len(label) for label, _ in rows)
+        return [f"{indent}{label.ljust(width)}  {value}"
+                for label, value in rows]

@@ -15,6 +15,12 @@ Eviction observers (registered with :meth:`BufferPool.add_eviction_listener`)
 let higher layers (the node stores keep deserialized node objects) drop
 cached objects when their backing page leaves memory, so that re-accessing
 the node is correctly charged a physical read.
+
+:meth:`BufferPool.attach_metrics` exports every :class:`IOStats` counter
+(plus residency/hit-rate gauges) into a
+:class:`repro.obs.metrics.MetricsRegistry` through a pull collector: the
+hot paths keep incrementing the same plain integers, and the registry
+mirrors them only when an export is taken.
 """
 
 from __future__ import annotations
@@ -65,6 +71,37 @@ class BufferPool:
     def add_eviction_listener(self, listener: Callable[[int], None]) -> None:
         """Register a callback invoked with the page id of every eviction."""
         self._eviction_listeners.append(listener)
+
+    def attach_metrics(self, registry, prefix: str = "pool") -> None:
+        """Mirror this pool's counters into ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`) under ``prefix``.
+
+        Registers a pull collector, so the fetch/evict hot paths are not
+        touched: every :class:`IOStats` field becomes a
+        ``{prefix}_{field}_total`` counter (new fields are picked up
+        automatically), plus ``{prefix}_resident_pages`` /
+        ``{prefix}_capacity_pages`` / ``{prefix}_hit_rate`` gauges.
+        """
+        counters = {
+            name: registry.counter(f"{prefix}_{name}_total",
+                                   help=f"buffer pool {name.replace('_', ' ')}")
+            for name in self.stats.counters()
+        }
+        resident = registry.gauge(f"{prefix}_resident_pages",
+                                  help="pages currently in the pool")
+        capacity = registry.gauge(f"{prefix}_capacity_pages",
+                                  help="pool capacity in pages")
+        hit_rate = registry.gauge(f"{prefix}_hit_rate",
+                                  help="1 - physical/logical reads")
+
+        def collect() -> None:
+            for name, value in self.stats.counters().items():
+                counters[name].set_total(value)
+            resident.set(len(self._frames))
+            capacity.set(self.capacity)
+            hit_rate.set(self.stats.hit_rate)
+
+        registry.register_collector(collect)
 
     def fetch(self, page_id: int) -> Page:
         """Return the page, pinned.  Counts a logical read, and a physical

@@ -187,6 +187,25 @@ class RecordStore:
         """Number of pages currently holding at least one record."""
         return len(self._page_meta)
 
+    def attach_metrics(self, registry, prefix: str = "store") -> None:
+        """Expose store-level occupancy gauges in ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`) via a pull collector."""
+        pages = registry.gauge(f"{prefix}_pages_in_use",
+                               help="pages holding at least one record")
+        size_classes = registry.gauge(f"{prefix}_size_classes",
+                                      help="distinct record sizes in use")
+        pages_with_space = registry.gauge(
+            f"{prefix}_pages_with_space",
+            help="non-full pages available for allocation")
+
+        def collect() -> None:
+            pages.set(len(self._page_meta))
+            size_classes.set(len(self._classes))
+            pages_with_space.set(sum(len(s) for s in
+                                     self._pages_with_space_set.values()))
+
+        registry.register_collector(collect)
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -275,6 +294,9 @@ class NodeCache(Generic[T]):
         self._deserialize = deserialize
         self._objects: Dict[int, T] = {}
         self._rids_by_page: Dict[int, Set[int]] = {}
+        # Plain ints on the hot path; pulled into a registry on export.
+        self.hits = 0
+        self.misses = 0
         store.pool.add_eviction_listener(self._on_eviction)
 
     def get(self, rid: int) -> T:
@@ -288,6 +310,9 @@ class NodeCache(Generic[T]):
                                 cls.record_size)
                 obj = self._deserialize(raw)
                 self._remember(rid, obj)
+                self.misses += 1
+            else:
+                self.hits += 1
             return obj
         finally:
             page.unpin()
@@ -315,6 +340,23 @@ class NodeCache(Generic[T]):
     def cached_count(self) -> int:
         """Number of node objects currently cached (test helper)."""
         return len(self._objects)
+
+    def attach_metrics(self, registry, prefix: str = "node_cache") -> None:
+        """Expose deserialization hit/miss counters and the cached-object
+        gauge in ``registry`` via a pull collector."""
+        hits = registry.counter(f"{prefix}_hits_total",
+                                help="node reads served without deserialize")
+        misses = registry.counter(f"{prefix}_misses_total",
+                                  help="node reads that deserialized bytes")
+        cached = registry.gauge(f"{prefix}_cached_objects",
+                                help="deserialized node objects held")
+
+        def collect() -> None:
+            hits.set_total(self.hits)
+            misses.set_total(self.misses)
+            cached.set(len(self._objects))
+
+        registry.register_collector(collect)
 
     def _remember(self, rid: int, obj: T) -> None:
         self._objects[rid] = obj

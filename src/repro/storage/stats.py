@@ -11,7 +11,7 @@ disk assumption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -21,6 +21,10 @@ class IOStats:
     ``logical_reads`` counts every page request; ``physical_reads`` counts
     the subset that missed the pool and went to the page file.  The hit rate
     is therefore ``1 - physical_reads / logical_reads``.
+
+    ``snapshot``/``diff``/``reset`` operate over ``dataclasses.fields`` so
+    a counter added to this class is automatically covered by all three
+    (and by every metrics collector built on them).
     """
 
     logical_reads: int = 0
@@ -30,27 +34,18 @@ class IOStats:
     pages_freed: int = 0
     evictions: int = 0
 
+    def counters(self) -> dict:
+        """Every counter as ``{field name: value}``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counter values."""
-        return IOStats(
-            logical_reads=self.logical_reads,
-            physical_reads=self.physical_reads,
-            physical_writes=self.physical_writes,
-            pages_allocated=self.pages_allocated,
-            pages_freed=self.pages_freed,
-            evictions=self.evictions,
-        )
+        return IOStats(**self.counters())
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Return counters accumulated since ``earlier`` (a prior snapshot)."""
-        return IOStats(
-            logical_reads=self.logical_reads - earlier.logical_reads,
-            physical_reads=self.physical_reads - earlier.physical_reads,
-            physical_writes=self.physical_writes - earlier.physical_writes,
-            pages_allocated=self.pages_allocated - earlier.pages_allocated,
-            pages_freed=self.pages_freed - earlier.pages_freed,
-            evictions=self.evictions - earlier.evictions,
-        )
+        return IOStats(**{name: value - getattr(earlier, name)
+                          for name, value in self.counters().items()})
 
     @property
     def physical_io(self) -> int:
@@ -66,12 +61,8 @@ class IOStats:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.logical_reads = 0
-        self.physical_reads = 0
-        self.physical_writes = 0
-        self.pages_allocated = 0
-        self.pages_freed = 0
-        self.evictions = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 @dataclass
@@ -89,6 +80,13 @@ class DiskModel:
     random_io_ms: float = 12.0
     sequential_io_ms: float = 0.6
     sequential_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise ValueError(
+                f"sequential_fraction must be in [0, 1], got "
+                f"{self.sequential_fraction} (values outside the range "
+                f"would make the per-IO cost negative or inflated)")
 
     def seconds(self, physical_ios: int) -> float:
         """Simulated seconds for ``physical_ios`` page transfers."""
@@ -159,3 +157,46 @@ class CostAccumulator:
         if not self.count:
             return 0.0
         return self.mean_cpu_seconds() + disk.seconds(self.physical_io) / self.count
+
+    # ------------------------------------------------------------------ #
+    # Tail latency (requires costs added with ``keep=True``)
+    # ------------------------------------------------------------------ #
+
+    def per_op_costs(self) -> list:
+        """The retained per-operation costs (empty unless ``keep=True``)."""
+        return list(self._per_op)
+
+    def percentile(self, q: float, disk: DiskModel | None = None) -> float:
+        """Latency percentile (in seconds) over the retained per-op costs.
+
+        ``q`` is a fraction in [0, 1].  Without ``disk`` the percentile is
+        over measured CPU seconds; with ``disk`` each operation's physical
+        IOs are priced by the model and added first.  Linear interpolation
+        between order statistics; 0.0 when nothing was retained.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+        if not self._per_op:
+            return 0.0
+        values = sorted(
+            cost.cpu_seconds if disk is None else cost.total_seconds(disk)
+            for cost in self._per_op)
+        rank = q * (len(values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(values) - 1)
+        return values[lo] + (values[hi] - values[lo]) * (rank - lo)
+
+    @property
+    def p50(self) -> float:
+        """Median CPU seconds per retained operation."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile CPU seconds per retained operation."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile CPU seconds per retained operation."""
+        return self.percentile(0.99)

@@ -45,6 +45,7 @@ class TPRStarTree(TPRTree):
         heap = [(0.0, next(tie), self._root, [self._root])]
         while heap:
             cost, _, rid, path = heapq.heappop(heap)
+            self.counters.choosepath_pops += 1
             node = self.cache.get(rid)
             if node.level == target_level:
                 return path

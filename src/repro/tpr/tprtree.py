@@ -21,11 +21,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.explain import QueryExplain, SubIndexExplain
+from repro.obs.tracer import DescentTrace
 from repro.query.predicates import MovingQueryEvaluator
 from repro.query.types import MovingObjectState, PredictiveQuery
 from repro.storage.node_store import NodeCache, RecordStore
 from repro.tpr.node import ChildEntry, Entry, LeafEntry, TPRNode, TPRNodeCodec
 from repro.tpr.tpbr import TPBR
+
+
+@dataclass
+class TPRTreeCounters:
+    """Monotonic operation counters (plain ints on the hot path; mirrored
+    into a metrics registry by :meth:`TPRTree.attach_metrics`)."""
+
+    inserts: int = 0
+    deletes: int = 0
+    queries: int = 0
+    splits: int = 0
+    forced_reinserts: int = 0
+    condenses: int = 0
+    choosepath_pops: int = 0
 
 
 @dataclass(frozen=True)
@@ -86,6 +102,7 @@ class TPRTree:
         self._count = 0
         self._now = 0.0
         self._reinserted_levels: set[int] = set()
+        self.counters = TPRTreeCounters()
 
     # ------------------------------------------------------------------ #
     # Public interface
@@ -105,6 +122,7 @@ class TPRTree:
             raise ValueError(
                 f"object is {obj.d}-d but the tree is {self.config.d}-d")
         self._now = max(self._now, obj.t)
+        self.counters.inserts += 1
         p0 = tuple(p - v * obj.t for p, v in zip(obj.pos, obj.vel))
         self._reinserted_levels = set()
         self._insert_item(LeafEntry(obj.oid, p0, obj.vel), 0)
@@ -113,6 +131,7 @@ class TPRTree:
     def delete(self, obj: MovingObjectState) -> bool:
         """Remove the entry previously inserted for ``obj``; False when it
         cannot be located (the caller treats the update as an insert)."""
+        self.counters.deletes += 1
         p0 = tuple(p - v * obj.t for p, v in zip(obj.pos, obj.vel))
         hit = self._find_leaf(self._root, p0, obj.vel, obj.oid,
                               [self._root])
@@ -134,17 +153,60 @@ class TPRTree:
         self.insert(new)
         return removed
 
-    def query(self, query: PredictiveQuery) -> List[int]:
+    def query(self, query: PredictiveQuery,
+              trace: Optional[DescentTrace] = None) -> List[int]:
         """Object ids matching the query (exact: leaves are filtered with
-        the native-space common-instant predicate)."""
+        the native-space common-instant predicate).  ``trace`` records the
+        descent (node visits, TPBR tests, entries scanned); the default
+        ``None`` leaves the hot path untouched."""
         moving = query.as_moving()
         if moving.d != self.config.d:
             raise ValueError(
                 f"query is {moving.d}-d but the tree is {self.config.d}-d")
+        self.counters.queries += 1
         results: List[int] = []
         evaluator = MovingQueryEvaluator(moving)
-        self._query_node(self._root, moving, evaluator, results)
+        self._query_node(self._root, moving, evaluator, results, trace, 0)
         return results
+
+    def explain(self, query: PredictiveQuery) -> QueryExplain:
+        """Run ``query`` once under tracing and return the traced descent
+        (the TPR analogue of :meth:`repro.StripesIndex.explain`)."""
+        trace = DescentTrace(label="tpr descent")
+        before = self.store.pool.stats.snapshot()
+        results = self.query(query, trace)
+        diff = self.store.pool.stats.diff(before)
+        out = QueryExplain(query=query, index_name=type(self).__name__,
+                           refined=True, results=results,
+                           logical_reads=diff.logical_reads,
+                           physical_reads=diff.physical_reads)
+        out.sub_indexes.append(SubIndexExplain(
+            label="tree", trace=trace, candidates=trace.candidates,
+            matched=len(results)))
+        return out
+
+    def attach_metrics(self, registry, prefix: str = "tpr") -> None:
+        """Mirror the tree's state into ``registry`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`): pool and store
+        metrics, operation/split/reinsert counters, node-cache hit/miss
+        counters, and an entry-count gauge.  Pull-based -- nothing on the
+        hot paths touches the registry."""
+        self.store.pool.attach_metrics(registry, prefix=f"{prefix}_pool")
+        self.store.attach_metrics(registry, prefix=f"{prefix}_store")
+        self.cache.attach_metrics(registry, prefix=f"{prefix}_node_cache")
+        names = ("inserts", "deletes", "queries", "splits",
+                 "forced_reinserts", "condenses", "choosepath_pops")
+        counters = {name: registry.counter(f"{prefix}_{name}_total",
+                                           help=f"TPR tree {name}")
+                    for name in names}
+        entries = registry.gauge(f"{prefix}_entries", help="indexed entries")
+
+        def collect() -> None:
+            for name, counter in counters.items():
+                counter.set_total(getattr(self.counters, name))
+            entries.set(self._count)
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------ #
     # TPBR helpers
@@ -304,6 +366,7 @@ class TPRTree:
 
     def _split(self, path: List[int]) -> None:
         rid = path[-1]
+        self.counters.splits += 1
         node = self.cache.get(rid)
         group1, group2 = self._split_entries(node)
         node.entries = group1
@@ -340,6 +403,7 @@ class TPRTree:
         """PickWorst (Section 3.2): sort along the dimension with the
         largest extent (velocity extents scaled by the horizon to be
         commensurate with positions) and reinsert the first lambda share."""
+        self.counters.forced_reinserts += 1
         rid = path[-1]
         node = self.cache.get(rid)
         tc, horizon = self._now, self.config.horizon
@@ -409,6 +473,7 @@ class TPRTree:
     def _condense(self, path: List[int]) -> None:
         """R-tree CondenseTree: drop under-filled nodes along the delete
         path, reinsert their orphaned entries, shrink a one-child root."""
+        self.counters.condenses += 1
         orphans: List[Tuple[Entry, int]] = []
         for depth in range(len(path) - 1, 0, -1):
             rid = path[depth]
@@ -448,18 +513,38 @@ class TPRTree:
 
     def _query_node(self, rid: int, moving,
                     evaluator: MovingQueryEvaluator,
-                    results: List[int]) -> None:
+                    results: List[int],
+                    trace: Optional[DescentTrace] = None,
+                    depth: int = 0) -> None:
         node = self.cache.get(rid)
         if node.is_leaf:
+            if trace is not None:
+                trace.leaf_visits += 1
+                trace.entries_scanned += len(node.entries)
+                if depth > trace.max_depth:
+                    trace.max_depth = depth
+                before = len(results)
             matches = evaluator.matches_trajectory
             append = results.append
             for entry in node.entries:
                 if matches(entry.p0, entry.vel):
                     append(entry.oid)
+            if trace is not None:
+                trace.candidates += len(results) - before
             return
+        if trace is not None:
+            trace.nonleaf_visits += 1
+            if depth > trace.max_depth:
+                trace.max_depth = depth
+            trace.tpbr_tests += len(node.entries)
         for child in node.entries:
             if child.tpbr.intersects_query(moving):
-                self._query_node(child.rid, moving, evaluator, results)
+                if trace is not None:
+                    trace.children_recursed += 1
+                self._query_node(child.rid, moving, evaluator, results,
+                                 trace, depth + 1)
+            elif trace is not None:
+                trace.children_pruned += 1
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -1,0 +1,183 @@
+"""Unit tests for the metrics registry: instrument semantics, the
+Prometheus text exposition format, and the JSON snapshot."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("ops_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_set_total_mirrors_external_count(self):
+        c = Counter("reads_total")
+        c.set_total(42)
+        assert c.value == 42
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("0starts_with_digit")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pages")
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+    def test_reset(self):
+        g = Gauge("pages")
+        g.set(7)
+        g.reset()
+        assert g.value == 0
+
+
+class TestHistogram:
+    def test_bucket_assignment_inclusive_upper_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+            h.observe(v)
+        # raw (non-cumulative) counts: <=1: 2, <=2: 2, <=4: 1, +Inf: 1
+        assert h.bucket_counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(108.0)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, math.inf))
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)  # all in the first bucket
+        # target = q * 10 observations, lower edge 0, upper 1.0
+        assert h.percentile(0.5) == pytest.approx(0.5)
+        assert h.percentile(1.0) == pytest.approx(1.0)
+
+    def test_percentile_empty_and_overflow(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        assert h.percentile(0.5) == 0.0
+        h.observe(50.0)  # +Inf bucket clamps to largest finite bound
+        assert h.percentile(0.99) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            h.percentile(2.0)
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(
+            DEFAULT_LATENCY_BUCKETS_S)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_contains_get_names(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert "a" in reg and "c" not in reg
+        assert reg.get("b").kind == "gauge"
+        assert reg.get("c") is None
+        assert reg.names() == ["a", "b"]
+
+    def test_collector_runs_on_export(self):
+        reg = MetricsRegistry()
+        external = {"n": 0}
+        counter = reg.counter("ext_total")
+        reg.register_collector(lambda: counter.set_total(external["n"]))
+        external["n"] = 7
+        assert reg.to_dict()["counters"]["ext_total"] == 7
+        external["n"] = 9
+        assert "ext_total 9" in reg.expose_text()
+
+    def test_reset_zeroes_instruments_keeps_collectors(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        hist = reg.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        assert hist.count == 0
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(0.1, 1.0)).observe(0.05)
+        data = json.loads(reg.to_json())
+        assert data["counters"]["a_total"] == 3
+        assert data["gauges"]["g"] == 1.5
+        h = data["histograms"]["h"]
+        assert h["count"] == 1
+        assert h["buckets"] == {"0.1": 1, "1": 1, "+Inf": 1}
+
+    def test_exposition_golden(self):
+        """Exact Prometheus text format for one of each instrument."""
+        reg = MetricsRegistry()
+        reg.counter("req_total", help="requests served").inc(3)
+        reg.gauge("temp").set(2.5)
+        h = reg.histogram("lat_seconds", buckets=(0.5, 1.0),
+                          help="op latency")
+        h.observe(0.25)
+        h.observe(0.75)
+        h.observe(9.0)
+        assert reg.expose_text() == (
+            '# HELP lat_seconds op latency\n'
+            '# TYPE lat_seconds histogram\n'
+            'lat_seconds_bucket{le="0.5"} 1\n'
+            'lat_seconds_bucket{le="1"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            'lat_seconds_sum 10\n'
+            'lat_seconds_count 3\n'
+            '# HELP req_total requests served\n'
+            '# TYPE req_total counter\n'
+            'req_total 3\n'
+            '# TYPE temp gauge\n'
+            'temp 2.5\n'
+        )
+
+    def test_exposition_ends_with_newline(self):
+        reg = MetricsRegistry()
+        assert reg.expose_text() == ""
+        reg.counter("a").inc()
+        assert reg.expose_text().endswith("\n")

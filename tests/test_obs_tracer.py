@@ -1,0 +1,189 @@
+"""Unit tests for spans, descent traces, and ``explain()``."""
+
+import pytest
+
+from repro import (
+    MovingObjectState,
+    StripesConfig,
+    StripesIndex,
+    TimeSliceQuery,
+)
+from repro.obs import DescentTrace, Span, Tracer
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import InMemoryPageFile
+
+
+class TestTracer:
+    def test_spans_nest_via_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer", a=1) as outer:
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert [s.name for s in tracer.roots] == ["outer"]
+        assert [s.name for s in tracer.roots[0].children] == ["inner"]
+        assert tracer.roots[0].attrs == {"a": 1}
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        assert [s.name for s in tracer.roots[0].children] == [
+            "first", "second"]
+
+    def test_span_duration_measured(self):
+        ticks = iter([1.0, 3.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("timed") as span:
+            pass
+        assert span.duration_s == pytest.approx(2.5)
+
+    def test_duration_recorded_even_when_body_raises(self):
+        ticks = iter([1.0, 2.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError
+        assert span.duration_s == pytest.approx(1.0)
+        assert tracer.current is None
+
+    def test_events_attach_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            tracer.event("split", node=3)
+        assert span.events == [("split", {"node": 3})]
+
+    def test_events_without_span_are_orphans(self):
+        tracer = Tracer()
+        tracer.event("rotation", window=2)
+        assert tracer.orphan_events == [("rotation", {"window": 2})]
+        assert "* rotation window=2" in tracer.format()
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.event("loose")
+        tracer.reset()
+        assert tracer.roots == [] and tracer.orphan_events == []
+
+    def test_format_tree(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("a"):
+            with tracer.span("b", n=1):
+                tracer.event("e")
+        lines = tracer.format().splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("  b n=1")
+        assert lines[2].strip().startswith("* e")
+
+
+class TestSpan:
+    def test_tree_lines_indent(self):
+        root = Span("root")
+        root.children.append(Span("child"))
+        lines = root.tree_lines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+
+
+class TestDescentTrace:
+    def test_derived_totals(self):
+        t = DescentTrace(nonleaf_visits=2, leaf_visits=3, quads_inside=1,
+                         quads_overlap=4, quads_disjunct=5)
+        assert t.nodes_visited == 5
+        assert t.quads_classified == 10
+
+    def test_merge_sums_counters_and_maxes_depth(self):
+        a = DescentTrace(nonleaf_visits=1, max_depth=2, candidates=3)
+        b = DescentTrace(nonleaf_visits=2, max_depth=5, candidates=4)
+        a.merge(b)
+        assert a.nonleaf_visits == 3
+        assert a.max_depth == 5
+        assert a.candidates == 7
+
+    def test_as_dict_excludes_label(self):
+        d = DescentTrace(label="x", leaf_visits=1).as_dict()
+        assert "label" not in d
+        assert d["leaf_visits"] == 1
+
+    def test_format_lines_reports_quad_classes(self):
+        t = DescentTrace(quads_inside=1, quads_overlap=2, quads_disjunct=3)
+        text = "\n".join(t.format_lines())
+        assert "INSIDE 1 / OVERLAP 2 / DISJUNCT 3" in text
+
+    def test_tpbr_row_only_when_nonzero(self):
+        assert not any("TPBR" in line
+                       for line in DescentTrace().format_lines())
+        assert any("TPBR tests" in line
+                   for line in DescentTrace(tpbr_tests=4).format_lines())
+
+
+def _two_object_index():
+    pool = BufferPool(InMemoryPageFile(), capacity=32)
+    index = StripesIndex(
+        StripesConfig(vmax=(3.0, 3.0), pmax=(100.0, 100.0), lifetime=120.0),
+        pool)
+    index.insert(MovingObjectState(oid=1, pos=(10.0, 10.0),
+                                   vel=(0.0, 0.0), t=0.0))
+    index.insert(MovingObjectState(oid=2, pos=(90.0, 90.0),
+                                   vel=(0.0, 0.0), t=0.0))
+    return index
+
+
+class TestExplainKnownIndex:
+    """explain() on a two-object index whose descent is fully known: one
+    root leaf, both entries scanned, exactly one candidate matches."""
+
+    QUERY = TimeSliceQuery((0.0, 0.0), (20.0, 20.0), t=0.0)
+
+    def test_matches_query_and_counts(self):
+        index = _two_object_index()
+        explain = index.explain(self.QUERY)
+        assert explain.results == index.query(self.QUERY) == [1]
+        trace = explain.total_trace()
+        assert trace.leaf_visits == 1
+        assert trace.nonleaf_visits == 0
+        assert trace.entries_scanned == 2
+        assert trace.candidates == 1
+        assert explain.candidates == 1
+        assert explain.refined_away == 0
+
+    def test_span_tree_captured(self):
+        index = _two_object_index()
+        tracer = Tracer()
+        explain = index.explain(self.QUERY, tracer=tracer)
+        assert explain.span.name == "stripes.query"
+        assert [c.name for c in explain.span.children] == [
+            "stripes.descend"]
+
+    def test_format_mentions_the_descent(self):
+        text = _two_object_index().explain(self.QUERY).format()
+        assert "STRIPES explain" in text
+        assert "scanned 2" in text
+        assert "candidates" in text
+        assert "INSIDE 0 / OVERLAP 0 / DISJUNCT 0" in text
+
+    def test_deep_index_classifies_quads(self):
+        """Enough objects to force non-leaf nodes: the descent must then
+        classify quads and prune DISJUNCT children."""
+        pool = BufferPool(InMemoryPageFile(), capacity=64)
+        index = StripesIndex(
+            StripesConfig(vmax=(3.0, 3.0), pmax=(100.0, 100.0),
+                          lifetime=120.0), pool)
+        for oid in range(300):
+            index.insert(MovingObjectState(
+                oid=oid, pos=((oid * 7) % 100, (oid * 13) % 100),
+                vel=(((oid % 5) - 2) * 0.1, ((oid % 3) - 1) * 0.1), t=0.0))
+        explain = index.explain(TimeSliceQuery((0.0, 0.0), (30.0, 30.0),
+                                               t=10.0))
+        trace = explain.total_trace()
+        assert trace.nonleaf_visits >= 1
+        assert trace.quads_classified > 0
+        assert trace.children_pruned > 0
+        assert sorted(explain.results) == sorted(
+            index.query(TimeSliceQuery((0.0, 0.0), (30.0, 30.0), t=10.0)))

@@ -42,7 +42,36 @@ class TestIOStats:
         assert stats.evictions == 0
 
 
+class TestIOStatsFieldGeneric:
+    """snapshot/diff/counters are derived from dataclasses.fields, so a
+    newly added counter field can never be silently dropped."""
+
+    def test_counters_cover_every_field(self):
+        import dataclasses
+        stats = IOStats()
+        assert set(stats.counters()) == {
+            f.name for f in dataclasses.fields(IOStats)}
+
+    def test_snapshot_and_diff_cover_every_field(self):
+        stats = IOStats(**{name: i + 1
+                           for i, name in enumerate(IOStats().counters())})
+        snap = stats.snapshot()
+        assert snap.counters() == stats.counters()
+        zero = stats.diff(snap)
+        assert all(v == 0 for v in zero.counters().values())
+
+
 class TestDiskModel:
+    def test_sequential_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DiskModel(sequential_fraction=1.5)
+        with pytest.raises(ValueError):
+            DiskModel(sequential_fraction=-0.1)
+
+    def test_sequential_fraction_boundaries_allowed(self):
+        assert DiskModel(sequential_fraction=0.0).sequential_fraction == 0.0
+        assert DiskModel(sequential_fraction=1.0).sequential_fraction == 1.0
+
     def test_default_random_latency(self):
         disk = DiskModel()
         assert disk.seconds(100) == pytest.approx(1.2)  # 100 x 12 ms
@@ -89,3 +118,46 @@ class TestCostAccumulator:
         acc.add(OperationCost(1, 0, 0.0))
         disk = DiskModel(random_io_ms=1000.0)
         assert acc.mean_total_seconds(disk) == pytest.approx(1.0)
+
+
+class TestCostAccumulatorPercentiles:
+    def _filled(self, n=100):
+        acc = CostAccumulator()
+        for i in range(1, n + 1):
+            acc.add(OperationCost(i % 3, 0, i / 1000.0), keep=True)
+        return acc
+
+    def test_per_op_costs_empty_without_keep(self):
+        acc = CostAccumulator()
+        acc.add(OperationCost(1, 0, 0.5))
+        assert acc.per_op_costs() == []
+        assert acc.percentile(0.5) == 0.0
+
+    def test_median_of_known_distribution(self):
+        acc = self._filled(100)  # cpu 1ms .. 100ms
+        assert acc.p50 == pytest.approx(0.0505)
+        assert acc.p95 == pytest.approx(0.09505)
+        assert acc.p99 == pytest.approx(0.09901)
+
+    def test_percentile_bounds(self):
+        acc = self._filled(10)
+        assert acc.percentile(0.0) == pytest.approx(0.001)
+        assert acc.percentile(1.0) == pytest.approx(0.010)
+        with pytest.raises(ValueError):
+            acc.percentile(1.5)
+        with pytest.raises(ValueError):
+            acc.percentile(-0.01)
+
+    def test_percentile_with_disk_model_adds_io_time(self):
+        acc = CostAccumulator()
+        acc.add(OperationCost(physical_reads=1, physical_writes=0,
+                              cpu_seconds=0.0), keep=True)
+        disk = DiskModel(random_io_ms=100.0)
+        assert acc.percentile(0.5) == 0.0
+        assert acc.percentile(0.5, disk) == pytest.approx(0.1)
+
+    def test_single_observation(self):
+        acc = CostAccumulator()
+        acc.add(OperationCost(0, 0, 0.042), keep=True)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert acc.percentile(q) == pytest.approx(0.042)
