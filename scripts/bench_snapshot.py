@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Before/after snapshot of the PR 2 vectorized query path.
+
+Runs the same generated workload against two STRIPES configurations that
+differ only in ``QuadTreeConfig.vectorized`` -- the pure-Python scalar
+kernels versus the SoA/numpy ones -- and writes a JSON snapshot with
+per-mode throughput (ops/sec) and p50/p95/p99 latencies taken from the
+bench histograms.  The two runs must agree on every query's hit count;
+the script exits non-zero if they do not, so CI can use it as a cheap
+end-to-end parity gate on top of the unit-level parity suite.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py            # full size
+    PYTHONPATH=src python scripts/bench_snapshot.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.runner import make_stripes, run_workload
+from repro.core.quadtree import QuadTreeConfig
+from repro.obs import MetricsRegistry
+from repro.workload.generator import WorkloadSpec, generate_workload
+
+
+def run_mode(workload, vectorized: bool, pool_pages: int) -> dict:
+    registry = MetricsRegistry()
+    setup = make_stripes(
+        workload, pool_pages,
+        quadtree=QuadTreeConfig(vectorized=vectorized),
+        name="STRIPES-vec" if vectorized else "STRIPES-scalar",
+        registry=registry)
+    result = run_workload(setup, workload, keep_per_op=True,
+                          registry=registry)
+
+    def phase(acc, hist_name: str) -> dict:
+        hist = result.metrics["histograms"][hist_name]
+        seconds = acc.cpu_seconds
+        return {
+            "ops": acc.count,
+            "cpu_seconds": round(seconds, 6),
+            "ops_per_sec": round(acc.count / seconds, 2) if seconds else None,
+            "p50_ms": round(hist["p50"] * 1e3, 6),
+            "p95_ms": round(hist["p95"] * 1e3, 6),
+            "p99_ms": round(hist["p99"] * 1e3, 6),
+        }
+
+    counters = result.metrics["counters"]
+    return {
+        "vectorized": vectorized,
+        "load_seconds": round(result.load.cpu_seconds, 6),
+        "queries": phase(result.queries, "bench_query_latency_seconds"),
+        "updates": phase(result.updates, "bench_update_latency_seconds"),
+        "query_hits": result.query_hits,
+        "pages_used": result.pages_used,
+        "node_cache_decoded_hits":
+            counters.get("stripes_node_cache_decoded_hits_total", 0),
+        "node_cache_decoded_misses":
+            counters.get("stripes_node_cache_decoded_misses_total", 0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-sized workload (~seconds)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_PR2.json")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = WorkloadSpec(n_objects=2_000, n_operations=400,
+                            update_fraction=0.2, seed=args.seed)
+        pool_pages = 1024
+    else:
+        spec = WorkloadSpec(n_objects=20_000, n_operations=3_000,
+                            update_fraction=0.2, seed=args.seed)
+        pool_pages = 4096
+    workload = generate_workload(spec)
+
+    modes = {name: run_mode(workload, vectorized, pool_pages)
+             for name, vectorized in (("scalar", False), ("vectorized", True))}
+
+    if modes["scalar"]["query_hits"] != modes["vectorized"]["query_hits"]:
+        print("PARITY FAILURE: scalar and vectorized runs disagree "
+              f"({modes['scalar']['query_hits']} vs "
+              f"{modes['vectorized']['query_hits']} query hits)",
+              file=sys.stderr)
+        return 1
+
+    speedup = (modes["vectorized"]["queries"]["ops_per_sec"]
+               / modes["scalar"]["queries"]["ops_per_sec"])
+    snapshot = {
+        "pr": 2,
+        "workload": {
+            "n_objects": spec.n_objects,
+            "n_operations": spec.n_operations,
+            "update_fraction": spec.update_fraction,
+            "seed": spec.seed,
+            "quick": args.quick,
+        },
+        "pool_pages": pool_pages,
+        "python": platform.python_version(),
+        "modes": modes,
+        "query_throughput_speedup": round(speedup, 2),
+    }
+    args.out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    for name, mode in modes.items():
+        q = mode["queries"]
+        print(f"{name:>10}: {q['ops_per_sec']:>9} qry/s   "
+              f"p50={q['p50_ms']:.3f}ms p95={q['p95_ms']:.3f}ms "
+              f"p99={q['p99_ms']:.3f}ms   hits={mode['query_hits']}")
+    print(f"query throughput speedup: {speedup:.2f}x  -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

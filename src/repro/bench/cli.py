@@ -25,6 +25,7 @@ from repro.bench.experiments import ExperimentScale
 from repro.bench.report import (
     render_batches,
     render_breakdown,
+    render_cache_table,
     render_cost_table,
     render_latency_table,
     render_load,
@@ -56,6 +57,8 @@ def _print_costs(title: str, results, disk, metrics: bool = False) -> None:
     _print(render_latency_table(f"{title} -- tail latency (CPU ms/op)",
                                 results))
     if metrics:
+        _print(render_cache_table(
+            f"{title} -- decoded-node cache effectiveness", results))
         for name, result in results.items():
             if result.metrics:
                 _print(render_metrics_snapshot(

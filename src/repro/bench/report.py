@@ -153,6 +153,38 @@ def render_metrics_snapshot(title: str, snapshot: dict,
     return "\n".join(lines)
 
 
+CACHE_HEADERS = ["index", "decoded hits", "decoded misses", "hit rate"]
+
+
+def render_cache_table(title: str, results: Dict[str, RunResult]) -> str:
+    """Decoded-node cache effectiveness per index.
+
+    Reads the ``*_node_cache_decoded_{hits,misses}_total`` counters out
+    of each result's final metrics snapshot (rows show ``-`` for indexes
+    run without a registry or without a node cache, e.g. the scan
+    baseline).  A hit means a node read skipped Python-level
+    deserialization; the page access itself still happened.
+    """
+    rows = []
+    for name, result in results.items():
+        counters = (result.metrics or {}).get("counters", {})
+        hits = misses = None
+        for key, value in counters.items():
+            if key.endswith("node_cache_decoded_hits_total"):
+                hits = (hits or 0) + value
+            elif key.endswith("node_cache_decoded_misses_total"):
+                misses = (misses or 0) + value
+        if hits is None and misses is None:
+            rows.append([name, "-", "-", "-"])
+            continue
+        hits = hits or 0
+        misses = misses or 0
+        total = hits + misses
+        rate = f"{hits / total:.3f}" if total else "-"
+        rows.append([name, hits, misses, rate])
+    return format_table(CACHE_HEADERS, rows, title)
+
+
 def render_load(title: str, results: Dict[str, RunResult],
                 disk: DiskModel) -> str:
     """Initial bulk-load cost and resulting index size."""

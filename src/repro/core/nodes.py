@@ -26,6 +26,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple, Union
 
+import numpy as np
+
 from repro.core.dual import DualPoint
 
 INVALID_RID = -1
@@ -55,8 +57,72 @@ class NonLeafNode:
         return [i for i, rid in enumerate(self.children) if rid != INVALID_RID]
 
 
+class LeafSoA:
+    """Structure-of-arrays view of one leaf record's entries.
+
+    ``oids`` is an ``int64`` column; ``vs``/``ps`` are ``(n, d)`` coordinate
+    columns.  The tree builds them as ``float64`` even in the
+    paper-faithful float32 layout: dual coordinates are rounded at
+    transform time and widen exactly, so the column holds the same values
+    the scalar path compares without a per-query upcast copy.  The
+    vectorized query kernels
+    (:meth:`repro.core.query_region.QueryRegion2D.contains_batch`) consume
+    these columns instead of iterating :class:`DualPoint` objects.
+    """
+
+    __slots__ = ("oids", "vs", "ps")
+
+    def __init__(self, oids: np.ndarray, vs: np.ndarray, ps: np.ndarray):
+        self.oids = oids
+        self.vs = vs
+        self.ps = ps
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+
+def _build_soa(entries: List[DualPoint], d: int, dtype) -> LeafSoA:
+    n = len(entries)
+    if n == 0:
+        return LeafSoA(np.empty(0, dtype=np.int64),
+                       np.empty((0, d), dtype=dtype),
+                       np.empty((0, d), dtype=dtype))
+    oids = np.fromiter((e.oid for e in entries), dtype=np.int64, count=n)
+    vs = np.array([e.v for e in entries], dtype=dtype)
+    ps = np.array([e.p for e in entries], dtype=dtype)
+    return LeafSoA(oids, vs, ps)
+
+
+class _SoACacheMixin:
+    """Lazily built, self-invalidating SoA view for leaf-like records.
+
+    The cached view is valid while the record's ``entries`` list is the
+    *same object* at the *same length*: every mutation path either
+    replaces the list or appends to it.  Holding a reference to the list
+    (not just its ``id``) makes the identity test immune to CPython id
+    reuse after garbage collection.
+    """
+
+    # Plain class attributes, not dataclass fields: they never serialize,
+    # never compare, and start unset on every deserialized record.
+    _soa = None
+    _soa_entries = None
+    _soa_len = -1
+
+    def soa(self, d: int, dtype) -> LeafSoA:
+        entries = self.entries
+        if (self._soa is not None and self._soa_entries is entries
+                and self._soa_len == len(entries)):
+            return self._soa
+        view = _build_soa(entries, d, dtype)
+        self._soa = view
+        self._soa_entries = entries
+        self._soa_len = len(entries)
+        return view
+
+
 @dataclass
-class LeafNode:
+class LeafNode(_SoACacheMixin):
     """Leaf bucket of dual points (plus an optional overflow chain)."""
 
     level: int
@@ -76,7 +142,7 @@ class LeafNode:
 
 
 @dataclass
-class LeafExtension:
+class LeafExtension(_SoACacheMixin):
     """Continuation record of an overflowing maximum-depth leaf."""
 
     entries: List[DualPoint] = field(default_factory=list)

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.dual import DualPoint, DualSpace
 from repro.core.nodes import (
     INVALID_RID,
@@ -39,10 +41,43 @@ from repro.core.nodes import (
     Node,
     NodeCodec,
     NonLeafNode,
+    _build_soa,
 )
 from repro.core.query_region import QueryRegion2D, RelPos
 from repro.obs.tracer import DescentTrace
-from repro.storage.node_store import NodeCache, RecordStore
+from repro.storage.node_store import (
+    MAX_SLOTS_PER_PAGE,
+    NodeCache,
+    RecordStore,
+)
+
+
+class _DeferredSegments:
+    """Descent-ordered result accumulator for the vectorized search.
+
+    ``segments`` holds ``(entries, record, lit)`` triples: ``record`` is
+    the leaf-like record owning ``entries`` (its cached SoA view is read
+    at resolve time), or ``None`` for entries delivered without one.
+    ``lit`` marks segments reported wholesale (all-INSIDE subtrees),
+    which pass unconditionally -- they must NOT be re-tested by the
+    kernels, whose answer could differ from the rectangle classification
+    by an ulp at region boundaries.  Duck-types ``extend`` so fallback
+    paths can treat the sink like the scalar path's plain result list.
+    """
+
+    __slots__ = ("segments",)
+
+    def __init__(self):
+        self.segments: List[tuple] = []
+
+    def extend(self, entries) -> None:
+        if entries:
+            self.segments.append((entries, None, True))
+
+
+#: What search paths append results into: a plain list on the scalar and
+#: traced paths, a :class:`_DeferredSegments` on the vectorized path.
+ResultSink = "List[DualPoint] | _DeferredSegments"
 
 
 @dataclass(frozen=True)
@@ -64,6 +99,13 @@ class QuadTreeConfig:
     the ladder on overflow; only a leaf at the largest size splits.  When
     set, it overrides ``small_leaf_bytes``/``large_leaf_bytes`` and
     ``use_small_leaves``.
+
+    ``vectorized`` routes leaf filtering and counting through the numpy
+    batch kernels (SoA leaf columns +
+    :meth:`repro.core.query_region.QueryRegion2D.contains_batch`).  The
+    kernels return bit-identical results to the scalar per-entry tests;
+    ``vectorized=False`` keeps the pure-Python path (used by the parity
+    suite and as the pre-change benchmark baseline).
     """
 
     small_leaf_bytes: Optional[int] = None
@@ -73,6 +115,7 @@ class QuadTreeConfig:
     use_small_leaves: bool = True
     quad_pruning: bool = True
     leaf_size_ladder: Optional[Tuple[int, ...]] = None
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.leaf_size_ladder is not None:
@@ -197,6 +240,27 @@ class DualQuadTree:
         # Plain attributes (not properties): these sit on query hot paths.
         self.d = space.d
         self.fanout = self.codec.fanout
+        self._vectorized = config.vectorized
+        #: SoA column dtype.  Always float64, even for float32 trees:
+        #: float32 coordinates are rounded at transform time, and the
+        #: widening float32 -> float64 conversion is exact, so the wide
+        #: column holds the very same values the scalar path compares --
+        #: while sparing the kernels a per-query upcast copy.
+        self._coord_dtype = np.float64
+        # Per-level side-length table, grown lazily: a node's geometry
+        # depends only on its level, so the tuples are built once per
+        # level instead of once per visit.
+        self._sides_table: List[Tuple[Tuple[float, ...],
+                                      Tuple[float, ...]]] = []
+        # Per-child-index plane codes of Eq. 1: _child_codes[idx][i] is
+        # the quad code of child ``idx`` in plane ``i``.
+        self._child_codes = tuple(
+            tuple((idx >> (2 * i)) & 3 for i in range(self.d))
+            for idx in range(self.fanout))
+        # Hoisted hot-path flags: attribute chains cost on every visit.
+        self._quad_pruning = config.quad_pruning
+        self._fast_descent = (self.d == 2 and config.vectorized
+                              and config.quad_pruning)
         self.counters = QuadTreeCounters()
         #: Optional :class:`repro.obs.tracer.Tracer`; when set, structural
         #: events (splits, promotions, collapses, spills) are recorded.
@@ -219,11 +283,19 @@ class DualQuadTree:
 
     def _child_sides(self, level: int) -> Tuple[Tuple[float, ...],
                                                 Tuple[float, ...]]:
-        """Side lengths of a node at ``level`` (root is level 0)."""
-        scale = 1.0 / (1 << level)
-        sl_v = tuple(e * scale for e in self.space.velocity_extent)
-        sl_p = tuple(e * scale for e in self.space.position_extent)
-        return sl_v, sl_p
+        """Side lengths of a node at ``level`` (root is level 0).
+
+        Served from a per-level table built on first use; levels are
+        bounded by ``max_depth`` plus the overflow-chain depth, so the
+        table stays tiny while every tree visit skips the tuple rebuild.
+        """
+        table = self._sides_table
+        while len(table) <= level:
+            scale = 1.0 / (1 << len(table))
+            table.append((
+                tuple(e * scale for e in self.space.velocity_extent),
+                tuple(e * scale for e in self.space.position_extent)))
+        return table[level]
 
     def _child_index(self, node: NonLeafNode, point: DualPoint) -> int:
         """Eq. 1: index of the child quad containing ``point``."""
@@ -385,11 +457,18 @@ class DualQuadTree:
     # Overflow chains (maximum-depth leaves only)
     # ------------------------------------------------------------------ #
 
-    def _leaf_all_entries(self, leaf: LeafNode) -> List[DualPoint]:
-        """Entries of the leaf including any overflow extensions."""
-        if leaf.overflow == INVALID_RID:
-            return list(leaf.entries)
-        entries = list(leaf.entries)
+    def _leaf_all_entries(self, leaf: LeafNode,
+                          out: Optional[List[DualPoint]] = None
+                          ) -> List[DualPoint]:
+        """Entries of the leaf including any overflow extensions.
+
+        ``out`` appends into the caller's accumulator instead of building
+        (and having the caller re-copy) an intermediate list per record --
+        the bulk-collection paths (:meth:`all_entries`, subtree collapses,
+        whole-subtree reporting) pass one shared buffer down the walk.
+        """
+        entries = out if out is not None else []
+        entries.extend(leaf.entries)
         rid = leaf.overflow
         while rid != INVALID_RID:
             ext = self.cache.get(rid)
@@ -562,6 +641,19 @@ class DualQuadTree:
             raise ValueError(
                 f"expected {self.d} query regions, got {len(regions)}")
         self.counters.searches += 1
+        if self._vectorized and trace is None:
+            # Deferred filtering: the descent only *collects* leaf-record
+            # SoA segments (plus wholesale INSIDE reports); the membership
+            # kernels then run once over the concatenated columns.  Leaf
+            # records average a few dozen entries, far too small to
+            # amortize per-call numpy overhead record by record.
+            acc = _DeferredSegments()
+            if self._root_is_leaf:
+                self._filter_leaf(self.cache.get(self._root_rid), regions,
+                                  acc)
+            else:
+                self._search_nonleaf(self._root_rid, regions, acc)
+            return self._resolve_segments(regions, acc)
         results: List[DualPoint] = []
         if self._root_is_leaf:
             leaf = self.cache.get(self._root_rid)
@@ -570,23 +662,204 @@ class DualQuadTree:
             self._search_nonleaf(self._root_rid, regions, results, trace, 0)
         return results
 
+    def _resolve_segments(self, regions: Tuple[QueryRegion2D, ...],
+                          acc: "_DeferredSegments") -> List[DualPoint]:
+        """Filter the collected segments in one vectorized pass.
+
+        Segment order is descent order, so the returned list is element-
+        for-element identical to the scalar path's; the kernels compute
+        per lane, so concatenating records changes nothing about any
+        lane's arithmetic.
+        """
+        segments = acc.segments
+        d = self.d
+        dtype = self._coord_dtype
+        results: List[DualPoint] = []
+        vs_list = []
+        ps_list = []
+        offsets = []
+        off = 0
+        for entries, rec, lit in segments:
+            if not lit:
+                offsets.append(off)
+                off += len(entries)
+                # soa() unrolled: the view is valid while the record's
+                # entries list is the same object at the same length.
+                if rec._soa_entries is entries and \
+                        rec._soa_len == len(entries):
+                    soa = rec._soa
+                else:
+                    soa = rec.soa(d, dtype)
+                vs_list.append(soa.vs)
+                ps_list.append(soa.ps)
+        if not vs_list:
+            for entries, _, _ in segments:
+                results.extend(entries)
+            return results
+        if len(vs_list) == 1:
+            vs, ps = vs_list[0], ps_list[0]
+        else:
+            vs = np.concatenate(vs_list)
+            ps = np.concatenate(ps_list)
+        mask = regions[0].contains_batch(vs[:, 0], ps[:, 0])
+        for i in range(1, d):
+            mask &= regions[i].contains_batch(vs[:, i], ps[:, i])
+        # One global hit list over the concatenated columns.  Lit
+        # (all-INSIDE) segments interleave in descent order, so the hit
+        # list is split at each pending segment's start offset and each
+        # global index mapped back into its segment's entry list --
+        # never materialising a flattened candidate list.
+        hits = np.nonzero(mask)[0]
+        offsets.append(off)
+        bounds = np.searchsorted(hits, np.asarray(offsets)).tolist()
+        hits_l = hits.tolist()
+        seg_idx = 0
+        append = results.append
+        extend = results.extend
+        for entries, rec, lit in segments:
+            if lit:
+                extend(entries)
+                continue
+            lo = bounds[seg_idx]
+            hi = bounds[seg_idx + 1]
+            base = offsets[seg_idx]
+            seg_idx += 1
+            if lo == hi:
+                continue
+            if hi - lo == len(entries):
+                extend(entries)
+            else:
+                for j in hits_l[lo:hi]:
+                    append(entries[j - base])
+        return results
+
+    def search_columns(self, regions: Tuple[QueryRegion2D, ...]
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Matching entries as ``(oids, vs, ps)`` numpy columns.
+
+        Column-typed variant of :meth:`search` for the vectorized hot
+        path: the same descent, the same membership kernels, and the
+        same descent-ordered answer -- but candidates never leave SoA
+        form, so the caller's refinement step (the exact common-instant
+        check in :class:`repro.core.stripes`) can run directly on the
+        returned columns without rebuilding arrays from
+        :class:`DualPoint` objects.  Row ``k`` of each column describes
+        the ``k``-th entry :meth:`search` would return.
+        """
+        if len(regions) != self.d:
+            raise ValueError(
+                f"expected {self.d} query regions, got {len(regions)}")
+        self.counters.searches += 1
+        acc = _DeferredSegments()
+        if self._root_is_leaf:
+            self._filter_leaf(self.cache.get(self._root_rid), regions, acc)
+        else:
+            self._search_nonleaf(self._root_rid, regions, acc)
+        return self._resolve_columns(regions, acc)
+
+    def _resolve_columns(self, regions: Tuple[QueryRegion2D, ...],
+                         acc: "_DeferredSegments"
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Kernel pass over the collected segments, staying columnar.
+
+        Lit (all-INSIDE) rows bypass the kernels by forcing their mask
+        range to True: re-testing them could disagree with the rectangle
+        classification by an ulp at region boundaries, and the scalar
+        path never tests them either.
+        """
+        segments = acc.segments
+        d = self.d
+        dtype = self._coord_dtype
+        if not segments:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty((0, d), dtype=np.float64),
+                    np.empty((0, d), dtype=np.float64))
+        soas = []
+        lit_ranges = []
+        any_pending = False
+        off = 0
+        for entries, rec, lit in segments:
+            # soa() unrolled: the view is valid while the record's
+            # entries list is the same object at the same length.
+            if rec is None:
+                soa = _build_soa(entries, d, np.float64)
+            elif rec._soa_entries is entries and \
+                    rec._soa_len == len(entries):
+                soa = rec._soa
+            else:
+                soa = rec.soa(d, dtype)
+            soas.append(soa)
+            if lit:
+                lit_ranges.append((off, off + len(entries)))
+            else:
+                any_pending = True
+            off += len(entries)
+        if len(soas) == 1:
+            oids, vs, ps = soas[0].oids, soas[0].vs, soas[0].ps
+        else:
+            oids = np.concatenate([s.oids for s in soas])
+            vs = np.concatenate([s.vs for s in soas])
+            ps = np.concatenate([s.ps for s in soas])
+        if not any_pending:
+            return oids, vs, ps
+        mask = regions[0].contains_batch(vs[:, 0], ps[:, 0])
+        for i in range(1, d):
+            mask &= regions[i].contains_batch(vs[:, i], ps[:, i])
+        for lo, hi in lit_ranges:
+            mask[lo:hi] = True
+        return oids[mask], vs[mask], ps[mask]
+
     def _point_matches(self, entry: DualPoint,
                        regions: Tuple[QueryRegion2D, ...]) -> bool:
         return all(regions[i].contains_point(entry.v[i], entry.p[i])
                    for i in range(self.d))
 
+    #: Leaf records below this many entries are filtered by the scalar
+    #: loop even in vectorized mode: numpy call overhead exceeds the
+    #: per-entry test for very small batches.  Both paths are exact, so
+    #: the threshold is purely a performance knob.
+    _BATCH_MIN_ENTRIES = 8
+
+    def _defer_overflow(self, rid: int, segments: List[tuple],
+                        lit: bool = False) -> None:
+        """Append an overflow chain's records as deferred segments."""
+        while rid != INVALID_RID:
+            ext = self.cache.get(rid)
+            if ext.entries:
+                segments.append((ext.entries, ext, lit))
+            rid = ext.overflow
+
     def _filter_leaf(self, leaf: LeafNode,
                      regions: Tuple[QueryRegion2D, ...],
-                     results: List[DualPoint],
+                     results: "ResultSink",
                      trace: Optional[DescentTrace] = None) -> None:
-        entries = self._leaf_all_entries(leaf)
+        if isinstance(results, _DeferredSegments):
+            segments = results.segments
+            if leaf.entries:
+                segments.append((leaf.entries, leaf, False))
+            if leaf.overflow != INVALID_RID:
+                self._defer_overflow(leaf.overflow, segments)
+            return
         if trace is not None:
             trace.leaf_visits += 1
-            trace.entries_scanned += len(entries)
             before = len(results)
+        if self._vectorized:
+            scanned = self._filter_leaf_batch(leaf, regions, results)
+        else:
+            entries = self._leaf_all_entries(leaf)
+            scanned = len(entries)
+            self._filter_entries_scalar(entries, regions, results)
+        if trace is not None:
+            trace.entries_scanned += scanned
+            trace.candidates += len(results) - before
+
+    def _filter_entries_scalar(self, entries: List[DualPoint],
+                               regions: Tuple[QueryRegion2D, ...],
+                               results: List[DualPoint]) -> None:
         if self.d == 2:
             # Hand-unrolled two-dimensional path: this loop runs once per
-            # candidate entry and dominates query CPU time.
+            # candidate entry and dominates query CPU time when the batch
+            # kernels are disabled.
             r0, r1 = regions
             append = results.append
             for entry in entries:
@@ -599,31 +872,162 @@ class DualQuadTree:
             for entry in entries:
                 if self._point_matches(entry, regions):
                     results.append(entry)
-        if trace is not None:
-            trace.candidates += len(results) - before
+
+    def _filter_leaf_batch(self, leaf: LeafNode,
+                           regions: Tuple[QueryRegion2D, ...],
+                           results: List[DualPoint]) -> int:
+        """Vectorized leaf filter: one half-plane/polyline kernel per dual
+        plane over the leaf's SoA columns, then a single mask reduction.
+
+        Returns the number of entries scanned.  Overflow-chain records are
+        filtered record by record (each has its own SoA view), preserving
+        the scalar path's result order and page-access sequence.
+        """
+        d = self.d
+        dtype = self._coord_dtype
+        scanned = 0
+        rec = leaf
+        while True:
+            entries = rec.entries
+            n = len(entries)
+            scanned += n
+            if 0 < n < self._BATCH_MIN_ENTRIES:
+                self._filter_entries_scalar(entries, regions, results)
+            elif n:
+                soa = rec.soa(d, dtype)
+                vs = soa.vs
+                ps = soa.ps
+                mask = regions[0].contains_batch(vs[:, 0], ps[:, 0])
+                for i in range(1, d):
+                    mask &= regions[i].contains_batch(vs[:, i], ps[:, i])
+                hits = np.nonzero(mask)[0]
+                if hits.size == n:
+                    results.extend(entries)
+                elif hits.size:
+                    results.extend([entries[j] for j in hits])
+            nxt = rec.overflow
+            if nxt == INVALID_RID:
+                return scanned
+            rec = self.cache.get(nxt)
 
     def _search_nonleaf(self, rid: int, regions: Tuple[QueryRegion2D, ...],
                         results: List[DualPoint],
                         trace: Optional[DescentTrace] = None,
-                        depth: int = 0) -> None:
-        node = self.cache.get(rid)
-        sl_v, sl_p = self._child_sides(node.level + 1)
+                        depth: int = 0,
+                        node: Optional[NonLeafNode] = None) -> None:
+        # ``node`` is passed by the vectorized fast path below, which
+        # already fetched (and IO-accounted) the child before recursing.
+        if node is None:
+            node = self.cache.get(rid)
+        level1 = node.level + 1
+        sides = self._sides_table
+        sl_v, sl_p = (sides[level1] if level1 < len(sides)
+                      else self._child_sides(level1))
+        if trace is None and self._fast_descent:
+            # Untraced two-dimensional fast path: classify each plane's
+            # four quads once (Section 4.6.4), then iterate per-plane
+            # codes instead of flat child indexes, so one DISJUNCT
+            # plane-1 code skips its whole block of four children.
+            # Child index (c1 << 2) | c0 ascends with the loops, so
+            # visit order -- and therefore result order -- matches the
+            # generic loop below exactly.  Gated on the vectorized flag
+            # so ``vectorized=False`` stays the plain, obviously-correct
+            # reference descent that the parity suite and the
+            # before/after bench compare against.
+            vc = node.v_corner
+            pc = node.p_corner
+            r0q, r1q = regions
+            v_mid = vc[0] + sl_v[0]
+            p_mid = pc[0] + sl_p[0]
+            rel0 = r0q.classify_quads(vc[0], v_mid, v_mid + sl_v[0],
+                                      pc[0], p_mid, p_mid + sl_p[0])
+            v_mid = vc[1] + sl_v[1]
+            p_mid = pc[1] + sl_p[1]
+            rel1 = r1q.classify_quads(vc[1], v_mid, v_mid + sl_v[1],
+                                      pc[1], p_mid, p_mid + sl_p[1])
+            children = node.children
+            child_is_leaf = node.child_is_leaf
+            disjunct = RelPos.DISJUNCT
+            inside = RelPos.INSIDE
+            cache = self.cache
+            cache_get = cache.get
+            # The leaf-child lookup below is cache.get unrolled into
+            # the loop: generation-checked object-cache probe, page
+            # touch for identical IO accounting, decode only on miss.
+            objects = cache._objects
+            gens = cache.store._record_gen
+            pool = cache.store.pool
+            frames = pool._frames
+            frames_move = frames.move_to_end
+            iostats = pool.stats
+            pool_fetch = pool.fetch
+            segments = (results.segments
+                        if type(results) is _DeferredSegments else None)
+            invalid = INVALID_RID
+            report_subtree = self._report_subtree
+            search_nonleaf = self._search_nonleaf
+            depth1 = depth + 1
+            live0 = [(c0, rel0[c0]) for c0 in range(4)
+                     if rel0[c0] is not disjunct]
+            for c1 in range(4):
+                r1 = rel1[c1]
+                if r1 is disjunct:
+                    continue
+                base = c1 << 2
+                for c0, r0 in live0:
+                    idx = base + c0
+                    child_rid = children[idx]
+                    if child_rid == invalid:
+                        continue
+                    if r0 is inside and r1 is inside:
+                        report_subtree(child_rid, child_is_leaf[idx],
+                                       results)
+                        continue
+                    entry = objects.get(child_rid)
+                    if entry is not None and \
+                            entry[0] == gens.get(child_rid, 0):
+                        page_id = child_rid // MAX_SLOTS_PER_PAGE
+                        if page_id in frames:
+                            # pool.touch unrolled: logical read
+                            # counted, frame moved to MRU.
+                            iostats.logical_reads += 1
+                            frames_move(page_id)
+                        else:
+                            pool_fetch(page_id).unpin()
+                        cache.hits += 1
+                        child = entry[1]
+                    else:
+                        child = cache_get(child_rid)
+                    if not child_is_leaf[idx]:
+                        search_nonleaf(child_rid, regions, results,
+                                       None, depth1, child)
+                    elif segments is None:
+                        self._filter_leaf(child, regions, results)
+                    else:
+                        # Inlined deferral for the common
+                        # overflow-free leaf.
+                        entries = child.entries
+                        if entries:
+                            segments.append((entries, child, False))
+                        if child.overflow != invalid:
+                            self._defer_overflow(child.overflow,
+                                                 segments)
+            return
         if trace is not None:
             trace.nonleaf_visits += 1
             if depth > trace.max_depth:
                 trace.max_depth = depth
-        if self.config.quad_pruning:
-            # Classify each plane's four quads once (Section 4.6.4); each
-            # child then just combines its per-plane codes.
+        if self._quad_pruning:
+            # Classify each plane's four quads once (Section 4.6.4); the
+            # shared-corner batch call evaluates each boundary point once
+            # and each child then just combines its per-plane codes.
             plane_rel = []
             for i in range(self.d):
-                quads = []
-                for code in range(4):
-                    v1 = node.v_corner[i] + (code & 1) * sl_v[i]
-                    p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
-                    quads.append(regions[i].classify_rect(
-                        v1, v1 + sl_v[i], p1, p1 + sl_p[i]))
-                plane_rel.append(quads)
+                v_mid = node.v_corner[i] + sl_v[i]
+                p_mid = node.p_corner[i] + sl_p[i]
+                plane_rel.append(regions[i].classify_quads(
+                    node.v_corner[i], v_mid, v_mid + sl_v[i],
+                    node.p_corner[i], p_mid, p_mid + sl_p[i]))
             if trace is not None:
                 for quads in plane_rel:
                     for rel in quads:
@@ -633,6 +1037,7 @@ class DualQuadTree:
                             trace.quads_disjunct += 1
                         else:
                             trace.quads_overlap += 1
+        child_codes = self._child_codes
         for idx in range(self.fanout):
             child_rid = node.children[idx]
             if child_rid == INVALID_RID:
@@ -640,7 +1045,7 @@ class DualQuadTree:
             disjunct = False
             all_inside = True
             for i in range(self.d):
-                code = (idx >> (2 * i)) & 3
+                code = child_codes[idx][i]
                 if self.config.quad_pruning:
                     rel = plane_rel[i][code]
                 else:
@@ -697,9 +1102,35 @@ class DualQuadTree:
                 f"expected {self.d} query regions, got {len(regions)}")
         if self._root_is_leaf:
             leaf = self.cache.get(self._root_rid)
+            return self._count_leaf(leaf, regions)
+        return self._count_nonleaf(self._root_rid, regions)
+
+    def _count_leaf(self, leaf: LeafNode,
+                    regions: Tuple[QueryRegion2D, ...]) -> int:
+        """Matching entries in a leaf (and its overflow chain)."""
+        if not self._vectorized:
             return sum(1 for e in self._leaf_all_entries(leaf)
                        if self._point_matches(e, regions))
-        return self._count_nonleaf(self._root_rid, regions)
+        d = self.d
+        dtype = self._coord_dtype
+        total = 0
+        rec = leaf
+        while True:
+            n = len(rec.entries)
+            if 0 < n < self._BATCH_MIN_ENTRIES:
+                total += sum(1 for e in rec.entries
+                             if self._point_matches(e, regions))
+            elif n:
+                soa = rec.soa(d, dtype)
+                mask = regions[0].contains_batch(soa.vs[:, 0], soa.ps[:, 0])
+                for i in range(1, d):
+                    mask &= regions[i].contains_batch(soa.vs[:, i],
+                                                      soa.ps[:, i])
+                total += int(np.count_nonzero(mask))
+            nxt = rec.overflow
+            if nxt == INVALID_RID:
+                return total
+            rec = self.cache.get(nxt)
 
     def _count_nonleaf(self, rid: int,
                        regions: Tuple[QueryRegion2D, ...]) -> int:
@@ -707,14 +1138,13 @@ class DualQuadTree:
         sl_v, sl_p = self._child_sides(node.level + 1)
         plane_rel = []
         for i in range(self.d):
-            quads = []
-            for code in range(4):
-                v1 = node.v_corner[i] + (code & 1) * sl_v[i]
-                p1 = node.p_corner[i] + ((code >> 1) & 1) * sl_p[i]
-                quads.append(regions[i].classify_rect(
-                    v1, v1 + sl_v[i], p1, p1 + sl_p[i]))
-            plane_rel.append(quads)
+            v_mid = node.v_corner[i] + sl_v[i]
+            p_mid = node.p_corner[i] + sl_p[i]
+            plane_rel.append(regions[i].classify_quads(
+                node.v_corner[i], v_mid, v_mid + sl_v[i],
+                node.p_corner[i], p_mid, p_mid + sl_p[i]))
         total = 0
+        child_codes = self._child_codes
         for idx in range(self.fanout):
             child_rid = node.children[idx]
             if child_rid == INVALID_RID:
@@ -722,7 +1152,7 @@ class DualQuadTree:
             disjunct = False
             all_inside = True
             for i in range(self.d):
-                rel = plane_rel[i][(idx >> (2 * i)) & 3]
+                rel = plane_rel[i][child_codes[idx][i]]
                 if rel is RelPos.DISJUNCT:
                     disjunct = True
                     break
@@ -732,12 +1162,10 @@ class DualQuadTree:
                 continue
             if node.child_is_leaf[idx]:
                 leaf = self.cache.get(child_rid)
-                entries = self._leaf_all_entries(leaf)
                 if all_inside:
-                    total += len(entries)
+                    total += len(self._leaf_all_entries(leaf))
                 else:
-                    total += sum(1 for e in entries
-                                 if self._point_matches(e, regions))
+                    total += self._count_leaf(leaf, regions)
             elif all_inside:
                 # The stored subtree size: no leaf pages are read.
                 total += self.cache.get(child_rid).size
@@ -750,14 +1178,25 @@ class DualQuadTree:
                         trace: Optional[DescentTrace] = None) -> None:
         if is_leaf:
             leaf = self.cache.get(rid)
-            entries = self._leaf_all_entries(leaf)
-            if trace is not None:
-                # Reported wholesale (all-INSIDE): entries become
-                # candidates without any per-entry geometry test.
-                trace.leaf_visits += 1
-                trace.entries_reported += len(entries)
-                trace.candidates += len(entries)
-            results.extend(entries)
+            if trace is None:
+                if type(results) is _DeferredSegments:
+                    # Lit segments: reported wholesale, never re-tested.
+                    segments = results.segments
+                    if leaf.entries:
+                        segments.append((leaf.entries, leaf, True))
+                    if leaf.overflow != INVALID_RID:
+                        self._defer_overflow(leaf.overflow, segments,
+                                             lit=True)
+                    return
+                self._leaf_all_entries(leaf, out=results)
+                return
+            before = len(results)
+            self._leaf_all_entries(leaf, out=results)
+            # Reported wholesale (all-INSIDE): entries become candidates
+            # without any per-entry geometry test.
+            trace.leaf_visits += 1
+            trace.entries_reported += len(results) - before
+            trace.candidates += len(results) - before
             return
         node = self.cache.get(rid)
         if trace is not None:
@@ -775,14 +1214,26 @@ class DualQuadTree:
         return self._subtree_entries(self._root_rid, self._root_is_leaf)
 
     def _subtree_entries(self, rid: int, is_leaf: bool) -> List[DualPoint]:
-        if is_leaf:
-            return self._leaf_all_entries(self.cache.get(rid))
-        node = self.cache.get(rid)
+        """Entries of a subtree, appended into one shared buffer.
+
+        The recursion threads a single output list instead of
+        concatenating per-child copies at every level, so collecting a
+        subtree of ``n`` entries is O(n) appends rather than O(n * height)
+        copied elements.  Page accesses are identical to the naive walk.
+        """
         entries: List[DualPoint] = []
-        for idx in node.present_children():
-            entries.extend(self._subtree_entries(node.children[idx],
-                                                 node.child_is_leaf[idx]))
+        self._collect_entries(rid, is_leaf, entries)
         return entries
+
+    def _collect_entries(self, rid: int, is_leaf: bool,
+                         out: List[DualPoint]) -> None:
+        if is_leaf:
+            self._leaf_all_entries(self.cache.get(rid), out)
+            return
+        node = self.cache.get(rid)
+        for idx in node.present_children():
+            self._collect_entries(node.children[idx],
+                                  node.child_is_leaf[idx], out)
 
     def _free_subtree(self, rid: int, is_leaf: bool) -> None:
         if is_leaf:

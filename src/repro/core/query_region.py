@@ -41,6 +41,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.query.types import MovingQuery
 
 
@@ -84,7 +86,8 @@ class QueryRegion2D:
     lines and above by ``max`` of two lines."""
 
     __slots__ = ("la_s", "la_i", "lb_s", "lb_i", "ua_s", "ua_i",
-                 "ub_s", "ub_i", "_lower_break", "_upper_break")
+                 "ub_s", "ub_i", "_lower_break", "_upper_break",
+                 "_lower_break_p", "_upper_break_p")
 
     def __init__(self, lower_a: Line, lower_b: Line,
                  upper_a: Line, upper_b: Line):
@@ -95,6 +98,12 @@ class QueryRegion2D:
         self.ub_s, self.ub_i = upper_b.slope, upper_b.intercept
         self._lower_break = lower_a.intersection_v(lower_b)
         self._upper_break = upper_a.intersection_v(upper_b)
+        # Boundary values at the breakpoints, evaluated once: every
+        # classify call against this region reuses them.
+        self._lower_break_p = (self.lower_at(self._lower_break)
+                               if self._lower_break is not None else 0.0)
+        self._upper_break_p = (self.upper_at(self._upper_break)
+                               if self._upper_break is not None else 0.0)
 
     @classmethod
     def from_query_plane(cls, query: MovingQuery, plane: int, vmax: float,
@@ -144,6 +153,23 @@ class QueryRegion2D:
         a = self.ua_i + self.ua_s * v
         b = self.ub_i + self.ub_s * v
         return p <= (a if a > b else b)
+
+    def contains_batch(self, vs: np.ndarray, ps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains_point` over coordinate columns.
+
+        ``vs``/``ps`` are parallel 1-d coordinate arrays (one leaf's SoA
+        columns for this plane); the result is a boolean mask.  Arithmetic
+        is performed in ``float64`` regardless of the storage dtype and in
+        the same operation order as the scalar test, so the mask is
+        bit-exactly ``[contains_point(v, p) for v, p in zip(vs, ps)]``.
+        """
+        vs = np.asarray(vs, dtype=np.float64)
+        ps = np.asarray(ps, dtype=np.float64)
+        lower = np.minimum(self.la_i + self.la_s * vs,
+                           self.lb_i + self.lb_s * vs)
+        upper = np.maximum(self.ua_i + self.ua_s * vs,
+                           self.ub_i + self.ub_s * vs)
+        return (ps >= lower) & (ps <= upper)
 
     def corner_points(self, v_max2: float) -> dict:
         """The paper's six defining points (Figure 6) over ``V`` in
@@ -196,13 +222,106 @@ class QueryRegion2D:
         # [v1, v2].
         lower_max = max(low_v1, low_v2)
         if self._lower_break is not None and v1 < self._lower_break < v2:
-            lower_max = max(lower_max, self.lower_at(self._lower_break))
+            lower_max = max(lower_max, self._lower_break_p)
         upper_min = min(up_v1, up_v2)
         if self._upper_break is not None and v1 < self._upper_break < v2:
-            upper_min = min(upper_min, self.upper_at(self._upper_break))
+            upper_min = min(upper_min, self._upper_break_p)
         if p1 >= lower_max and p2 <= upper_min:
             return RelPos.INSIDE
         return RelPos.OVERLAP
+
+    def classify_quads(self, v1: float, v_mid: float, v2: float,
+                       p1: float, p_mid: float, p2: float) -> Tuple[
+                           RelPos, RelPos, RelPos, RelPos]:
+        """Classify a node's four child quads in one call.
+
+        The quads partition ``[v1, v2] x [p1, p2]`` at ``(v_mid, p_mid)``;
+        the result is indexed by the Eq. 1 per-plane child code (bit 0 =
+        upper velocity half, bit 1 = upper position half).  Sharing the
+        six boundary evaluations across the four quads, this returns
+        exactly what four :meth:`classify_rect` calls would.
+        """
+        la_s, la_i = self.la_s, self.la_i
+        lb_s, lb_i = self.lb_s, self.lb_i
+        ua_s, ua_i = self.ua_s, self.ua_i
+        ub_s, ub_i = self.ub_s, self.ub_i
+        a = la_i + la_s * v1
+        b = lb_i + lb_s * v1
+        low0 = a if a < b else b
+        a = la_i + la_s * v_mid
+        b = lb_i + lb_s * v_mid
+        low1 = a if a < b else b
+        a = la_i + la_s * v2
+        b = lb_i + lb_s * v2
+        low2 = a if a < b else b
+        a = ua_i + ua_s * v1
+        b = ub_i + ub_s * v1
+        up0 = a if a > b else b
+        a = ua_i + ua_s * v_mid
+        b = ub_i + ub_s * v_mid
+        up1 = a if a > b else b
+        a = ua_i + ua_s * v2
+        b = ub_i + ub_s * v2
+        up2 = a if a > b else b
+        # Per velocity half: boundary extremes over the interval.  The
+        # concave lower bound's minimum and the convex upper bound's
+        # maximum sit at interval endpoints (the DISJUNCT tests); the
+        # opposite extremes may sit at a breakpoint inside the interval
+        # (the INSIDE tests).
+        low_min_a = low0 if low0 < low1 else low1
+        low_max_a = low0 if low0 > low1 else low1
+        low_min_b = low1 if low1 < low2 else low2
+        low_max_b = low1 if low1 > low2 else low2
+        brk = self._lower_break
+        if brk is not None:
+            bp = self._lower_break_p
+            if v1 < brk < v_mid and bp > low_max_a:
+                low_max_a = bp
+            if v_mid < brk < v2 and bp > low_max_b:
+                low_max_b = bp
+        up_max_a = up0 if up0 > up1 else up1
+        up_min_a = up0 if up0 < up1 else up1
+        up_max_b = up1 if up1 > up2 else up2
+        up_min_b = up1 if up1 < up2 else up2
+        brk = self._upper_break
+        if brk is not None:
+            bp = self._upper_break_p
+            if v1 < brk < v_mid and bp < up_min_a:
+                up_min_a = bp
+            if v_mid < brk < v2 and bp < up_min_b:
+                up_min_b = bp
+        disjunct = RelPos.DISJUNCT
+        inside = RelPos.INSIDE
+        overlap = RelPos.OVERLAP
+        # code 0: v in [v1, v_mid], p in [p1, p_mid]
+        if p_mid < low_min_a or p1 > up_max_a:
+            r0 = disjunct
+        elif p1 >= low_max_a and p_mid <= up_min_a:
+            r0 = inside
+        else:
+            r0 = overlap
+        # code 1: v in [v_mid, v2], p in [p1, p_mid]
+        if p_mid < low_min_b or p1 > up_max_b:
+            r1 = disjunct
+        elif p1 >= low_max_b and p_mid <= up_min_b:
+            r1 = inside
+        else:
+            r1 = overlap
+        # code 2: v in [v1, v_mid], p in [p_mid, p2]
+        if p2 < low_min_a or p_mid > up_max_a:
+            r2 = disjunct
+        elif p_mid >= low_max_a and p2 <= up_min_a:
+            r2 = inside
+        else:
+            r2 = overlap
+        # code 3: v in [v_mid, v2], p in [p_mid, p2]
+        if p2 < low_min_b or p_mid > up_max_b:
+            r3 = disjunct
+        elif p_mid >= low_max_b and p2 <= up_min_b:
+            r3 = inside
+        else:
+            r3 = overlap
+        return (r0, r1, r2, r3)
 
 
 def build_query_regions(query: MovingQuery, vmax: Tuple[float, ...],

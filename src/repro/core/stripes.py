@@ -29,7 +29,9 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.dual import DualSpace
 from repro.core.quadtree import (
@@ -153,6 +155,32 @@ class StripesIndex:
         tree = self._tree_for_window(self._window(obj.t), create=True)
         tree.insert(tree.space.to_dual(obj))
 
+    def insert_batch(self, objs: Sequence[MovingObjectState]) -> int:
+        """Insert many trajectories; returns the number inserted.
+
+        Equivalent to ``for obj in objs: self.insert(obj)`` but hoists the
+        per-call window lookup: states are grouped by lifetime window and
+        each group is fed to its sub-index with the transform and insert
+        methods bound once.  Windows are processed in ascending order so
+        rotation happens exactly as it would under sequential inserts.
+        """
+        d = self.config.d
+        by_window: Dict[int, List[MovingObjectState]] = {}
+        for obj in objs:
+            if obj.d != d:
+                raise ValueError(
+                    f"object is {obj.d}-d but the index is {d}-d")
+            by_window.setdefault(self._window(obj.t), []).append(obj)
+        inserted = 0
+        for window in sorted(by_window):
+            tree = self._tree_for_window(window, create=True)
+            to_dual = tree.space.to_dual
+            insert = tree.insert
+            for obj in by_window[window]:
+                insert(to_dual(obj))
+            inserted += len(by_window[window])
+        return inserted
+
     def delete(self, obj: MovingObjectState) -> bool:
         """Remove the entry previously inserted for ``obj`` (same object id,
         motion parameters, and timestamp).  Returns False when the entry
@@ -204,8 +232,35 @@ class StripesIndex:
                 f"query is {moving.d}-d but the index is {self.config.d}-d")
         # A time-slice query evaluates every dimension at the same single
         # instant, so the per-plane conjunction is already exact.
-        needs_refine = refine and moving.t_low < moving.t_high
+        return self._query_moving(moving,
+                                  refine and moving.t_low < moving.t_high)
+
+    def _query_moving(self, moving, needs_refine: bool) -> List[int]:
         results: List[int] = []
+        if self.config.quadtree.vectorized:
+            # Columnar fast path: candidates come back from the tree as
+            # SoA columns in descent order and the exact common-instant
+            # refinement runs directly on them -- the arithmetic per lane
+            # is identical to the scalar loop below, so the answer (ids
+            # and order) is too.
+            evaluator = MovingQueryEvaluator(moving) if needs_refine else None
+            for tree in self._trees.values():
+                regions = build_query_regions(
+                    moving, self.config.vmax, self.config.lifetime,
+                    tree.space.t_ref)
+                oids, vs, ps = tree.search_columns(regions)
+                if not oids.size:
+                    continue
+                if needs_refine:
+                    space = tree.space
+                    vmax = np.array(space.vmax, dtype=np.float64)
+                    pvs = vs - vmax
+                    p0s = ps - pvs * space.t_ref - vmax * space.lifetime
+                    mask = evaluator.matches_batch(p0s, pvs)
+                    results.extend(oids[mask].tolist())
+                else:
+                    results.extend(oids.tolist())
+            return results
         for tree in self._trees.values():
             regions = build_query_regions(
                 moving, self.config.vmax, self.config.lifetime,
@@ -217,10 +272,43 @@ class StripesIndex:
                 results.extend(entry.oid for entry in candidates)
         return results
 
-    @staticmethod
-    def _refine(space: DualSpace, candidates, moving) -> List[int]:
+    def query_batch(self, queries: Sequence[PredictiveQuery],
+                    refine: bool = True) -> List[List[int]]:
+        """Evaluate many queries against the current index state.
+
+        ``result[k]`` is exactly ``self.query(queries[k], refine)``: the
+        batch form exists so throughput workloads amortize per-call setup
+        and stay on the vectorized descent for every query.
+        """
+        d = self.config.d
+        out: List[List[int]] = []
+        for query in queries:
+            moving = query.as_moving()
+            if moving.d != d:
+                raise ValueError(
+                    f"query is {moving.d}-d but the index is {d}-d")
+            out.append(self._query_moving(
+                moving, refine and moving.t_low < moving.t_high))
+        return out
+
+    #: Candidate sets below this size are refined by the scalar loop:
+    #: numpy setup costs more than a handful of exact tests.
+    _REFINE_BATCH_MIN = 8
+
+    def _refine(self, space: DualSpace, candidates, moving) -> List[int]:
         """Exact common-instant check on dual-space candidates."""
         evaluator = MovingQueryEvaluator(moving)
+        if (self.config.quadtree.vectorized
+                and len(candidates) >= self._REFINE_BATCH_MIN):
+            # Vectorized refinement: identical arithmetic per lane, so
+            # the survivor set matches the scalar loop bit for bit.
+            vmax = np.array(space.vmax, dtype=np.float64)
+            vs = np.array([e.v for e in candidates], dtype=np.float64)
+            ps = np.array([e.p for e in candidates], dtype=np.float64)
+            pvs = vs - vmax
+            p0s = ps - pvs * space.t_ref - vmax * space.lifetime
+            mask = evaluator.matches_batch(p0s, pvs)
+            return [candidates[j].oid for j in np.nonzero(mask)[0]]
         matches = evaluator.matches_trajectory
         vmax = space.vmax
         t_ref = space.t_ref
@@ -380,10 +468,10 @@ class StripesIndex:
         rotations = registry.counter(f"{prefix}_rotations_total",
                                      help="sub-index windows destroyed")
         cache_hits = registry.counter(
-            f"{prefix}_node_cache_hits_total",
+            f"{prefix}_node_cache_decoded_hits_total",
             help="node reads served without deserialize")
         cache_misses = registry.counter(
-            f"{prefix}_node_cache_misses_total",
+            f"{prefix}_node_cache_decoded_misses_total",
             help="node reads that deserialized bytes")
         entries = registry.gauge(f"{prefix}_entries",
                                  help="live (non-expired) entries")

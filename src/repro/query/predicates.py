@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.query.types import MovingObjectState, PredictiveQuery
 
 Interval = Tuple[float, float]
@@ -173,6 +175,34 @@ class MovingQueryEvaluator:
         """Convenience wrapper for object states."""
         p0 = [p - v * obj.t for p, v in zip(obj.pos, obj.vel)]
         return self.matches_trajectory(p0, obj.vel)
+
+    def matches_batch(self, p0s: np.ndarray, pvs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`matches_trajectory` over trajectory columns.
+
+        ``p0s``/``pvs`` are ``(n, d)`` float64 arrays of per-trajectory
+        line parameters.  The kernel mirrors the scalar interval
+        intersection operation for operation (same divisions, same
+        max/min updates), so the returned boolean mask is bit-exactly
+        ``[matches_trajectory(p0s[k], pvs[k]) for k in range(n)]``: the
+        scalar code only early-exits, which never changes the final
+        truth value because ``lo`` is non-decreasing and ``hi`` is
+        non-increasing.
+        """
+        n = p0s.shape[0]
+        lo = np.full(n, self.t_low, dtype=np.float64)
+        hi = np.full(n, self.t_high, dtype=np.float64)
+        for i, (ql0, ql_v, qh0, qh_v) in enumerate(self._coeffs):
+            for a, b in ((p0s[:, i] - ql0, pvs[:, i] - ql_v),
+                         (qh0 - p0s[:, i], qh_v - pvs[:, i])):
+                # root is only consulted where b != 0, so 0/0 NaNs and
+                # x/0 infinities in the masked-out lanes are harmless.
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    root = -a / b
+                lo = np.where(b > 0.0, np.maximum(lo, root), lo)
+                hi = np.where(b < 0.0, np.minimum(hi, root), hi)
+                # b == 0 with a < 0: constraint holds nowhere.
+                hi = np.where((b == 0.0) & (a < 0.0), -np.inf, hi)
+        return lo <= hi
 
 
 def match_interval(obj: MovingObjectState,

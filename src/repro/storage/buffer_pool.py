@@ -119,6 +119,23 @@ class BufferPool:
         page.pin()
         return page
 
+    def touch(self, page_id: int) -> bool:
+        """Account for a logical read of a resident page without pinning.
+
+        Equivalent to ``fetch(page_id).unpin()`` when the page is in the
+        pool: the logical read is counted and the frame moves to the MRU
+        end.  Returns ``False`` -- counting nothing -- when the page is
+        not resident; the caller must then fall back to :meth:`fetch` so
+        the physical read is charged and the page brought in.  Exists for
+        read paths that need the page's *bytes kept hot and accounted for*
+        but not the bytes themselves (the decoded-node cache).
+        """
+        if page_id in self._frames:
+            self.stats.logical_reads += 1
+            self._frames.move_to_end(page_id)
+            return True
+        return False
+
     def new_page(self) -> Page:
         """Allocate a fresh page in the file and return it pinned and dirty.
 

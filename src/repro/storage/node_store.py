@@ -103,6 +103,13 @@ class RecordStore:
         self._pages_with_space_set: Dict[int, Set[int]] = {}
         # page_id -> (size class, occupied-slot count); in-memory mirror
         self._page_meta: Dict[int, tuple[SizeClass, int]] = {}
+        # rid -> write generation, bumped on every allocate/write/free so a
+        # decoded-object cache can detect any byte-level change to the
+        # record -- including slot reuse after free -- without comparing
+        # payloads.  Monotonic and never reset for a rid: a generation
+        # captured before a free can never collide with one captured after
+        # the slot is reallocated.
+        self._record_gen: Dict[int, int] = {}
 
     def size_class(self, record_size: int) -> SizeClass:
         """Return (and memoize) the layout for ``record_size``."""
@@ -138,7 +145,9 @@ class RecordStore:
         self._page_meta[page_id] = (cls, occupied)
         if occupied >= cls.num_slots:
             self._drop_space(record_size, page_id)
-        return make_rid(page_id, slot)
+        rid = make_rid(page_id, slot)
+        self._bump_generation(rid)
+        return rid
 
     def read(self, rid: int) -> bytes:
         """Return the full record-size byte slice for ``rid``."""
@@ -160,6 +169,7 @@ class RecordStore:
             page.write(cls.record_offset(rid_slot(rid)), payload)
         finally:
             page.unpin()
+        self._bump_generation(rid)
 
     def free(self, rid: int) -> None:
         """Release the record; empty pages are returned to the page file."""
@@ -178,6 +188,14 @@ class RecordStore:
         else:
             self._page_meta[page_id] = (cls, occupied)
             self._add_space(cls.record_size, page_id)
+        self._bump_generation(rid)
+
+    def generation_of(self, rid: int) -> int:
+        """Current write generation of ``rid`` (0 for never-written)."""
+        return self._record_gen.get(rid, 0)
+
+    def _bump_generation(self, rid: int) -> None:
+        self._record_gen[rid] = self._record_gen.get(rid, 0) + 1
 
     def record_size_of(self, rid: int) -> int:
         """Record size class of ``rid`` (from the in-memory space map)."""
@@ -278,12 +296,20 @@ T = TypeVar("T")
 
 
 class NodeCache(Generic[T]):
-    """Deserialized-node cache with write-through persistence.
+    """Generation-keyed deserialized-node cache with write-through
+    persistence.
 
     ``serialize``/``deserialize`` convert between node objects and record
     payload bytes.  Reads always touch the buffer pool (so residency and IO
     counts behave exactly as if nodes were parsed from bytes each time);
-    the Python object is only rebuilt after its page was evicted.
+    the Python object is only rebuilt after its page was evicted or its
+    record was rewritten.  Each cached object carries the record's write
+    generation (:meth:`RecordStore.generation_of`); a ``get`` whose stored
+    generation no longer matches counts as a decoded miss and
+    re-deserializes, so even raw :meth:`RecordStore.write`/``free`` calls
+    that bypass this cache can never serve a stale node.  Generations are
+    per record, not per page: rewriting one record does not invalidate its
+    page siblings (~11 non-leaf nodes share a page in the paper layout).
     """
 
     def __init__(self, store: RecordStore,
@@ -292,7 +318,8 @@ class NodeCache(Generic[T]):
         self.store = store
         self._serialize = serialize
         self._deserialize = deserialize
-        self._objects: Dict[int, T] = {}
+        # rid -> (record generation at decode time, node object)
+        self._objects: Dict[int, tuple[int, T]] = {}
         self._rids_by_page: Dict[int, Set[int]] = {}
         # Plain ints on the hot path; pulled into a registry on export.
         self.hits = 0
@@ -302,17 +329,25 @@ class NodeCache(Generic[T]):
     def get(self, rid: int) -> T:
         """Fetch the node for ``rid`` (page access always goes through the
         buffer pool; deserialization is skipped on object-cache hits)."""
+        entry = self._objects.get(rid)
+        if entry is not None \
+                and entry[0] == self.store._record_gen.get(rid, 0):
+            # Hit: the page access still happens and is counted exactly
+            # as on the miss path, so IO accounting is independent of
+            # cache state; only the decode is skipped.
+            pool = self.store.pool
+            page_id = rid // MAX_SLOTS_PER_PAGE
+            if not pool.touch(page_id):
+                pool.fetch(page_id).unpin()
+            self.hits += 1
+            return entry[1]
         cls, page = self.store._fetch_record_page(rid)
         try:
-            obj = self._objects.get(rid)
-            if obj is None:
-                raw = page.read(cls.record_offset(rid_slot(rid)),
-                                cls.record_size)
-                obj = self._deserialize(raw)
-                self._remember(rid, obj)
-                self.misses += 1
-            else:
-                self.hits += 1
+            raw = page.read(cls.record_offset(rid_slot(rid)),
+                            cls.record_size)
+            obj = self._deserialize(raw)
+            self._remember(rid, obj)
+            self.misses += 1
             return obj
         finally:
             page.unpin()
@@ -331,8 +366,8 @@ class NodeCache(Generic[T]):
     def free(self, rid: int) -> None:
         """Delete the record and drop the cached object."""
         self.store.free(rid)
-        obj = self._objects.pop(rid, None)
-        if obj is not None:
+        entry = self._objects.pop(rid, None)
+        if entry is not None:
             page_rids = self._rids_by_page.get(rid_page(rid))
             if page_rids is not None:
                 page_rids.discard(rid)
@@ -344,9 +379,9 @@ class NodeCache(Generic[T]):
     def attach_metrics(self, registry, prefix: str = "node_cache") -> None:
         """Expose deserialization hit/miss counters and the cached-object
         gauge in ``registry`` via a pull collector."""
-        hits = registry.counter(f"{prefix}_hits_total",
+        hits = registry.counter(f"{prefix}_decoded_hits_total",
                                 help="node reads served without deserialize")
-        misses = registry.counter(f"{prefix}_misses_total",
+        misses = registry.counter(f"{prefix}_decoded_misses_total",
                                   help="node reads that deserialized bytes")
         cached = registry.gauge(f"{prefix}_cached_objects",
                                 help="deserialized node objects held")
@@ -359,7 +394,7 @@ class NodeCache(Generic[T]):
         registry.register_collector(collect)
 
     def _remember(self, rid: int, obj: T) -> None:
-        self._objects[rid] = obj
+        self._objects[rid] = (self.store.generation_of(rid), obj)
         self._rids_by_page.setdefault(rid_page(rid), set()).add(rid)
 
     def _on_eviction(self, page_id: int) -> None:

@@ -105,7 +105,14 @@ def queries_1d(draw_bounds=st.floats(min_value=0.0, max_value=PMAX)):
         lo1=draw_bounds, width1=st.floats(min_value=0.0, max_value=30.0),
         lo2=draw_bounds, width2=st.floats(min_value=0.0, max_value=30.0),
         t1=st.floats(min_value=0.0, max_value=100.0),
-        dt=st.floats(min_value=0.0, max_value=50.0))
+        # Durations are either exactly zero or macroscopic.  A tiny nonzero
+        # duration (e.g. a denormal) makes the query-edge slopes
+        # (width / duration) overflow to inf, turning the oracle's edge
+        # intercepts into NaN -- such queries are physically meaningless
+        # and the ``t1 + dt == t1`` degeneracy guard above cannot catch
+        # them when t1 is 0.
+        dt=st.one_of(st.just(0.0),
+                     st.floats(min_value=1e-6, max_value=50.0)))
 
 
 def objects_1d():
