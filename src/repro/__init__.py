@@ -38,6 +38,7 @@ from repro.query.types import (
     TimeSliceQuery,
     WindowQuery,
 )
+from repro.service import ServiceConfig, ShardedStripes, StripesService
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,9 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "QueryExplain",
+    "ShardedStripes",
+    "StripesService",
+    "ServiceConfig",
     "save_index",
     "load_index",
     "__version__",

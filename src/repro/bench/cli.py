@@ -7,11 +7,19 @@ Examples::
     stripes-bench fig12 --scale 0.05   # per-query costs, 5% scale
     stripes-bench all --scale 0.002    # everything, tiny and fast
     stripes-bench explain --query-type window --index tprstar
+    stripes-bench serve --json BENCH_PR3.json
 
 The ``explain`` subcommand builds a small index, replays a prefix of the
 workload, then runs one query under full tracing and prints the descent
 trace (nodes visited, quads INSIDE/OVERLAP/DISJUNCT, candidates refined
 away) together with the index's metrics snapshot.
+
+The ``serve`` subcommand benchmarks the concurrent query service
+(``repro.service``): it verifies sharded-vs-serial parity on the
+workload's queries, measures a serial-service baseline (1 shard, 1
+worker, no batching) and the sharded micro-batching service under
+closed-loop load, demonstrates explicit ``Overloaded`` rejection against
+a tiny admission queue, and optionally snapshots everything to JSON.
 """
 
 from __future__ import annotations
@@ -183,14 +191,182 @@ def run_explain(index: str, query_type: str, n_objects: int,
     return 0
 
 
+#: Buffer-pool pages for the serve benchmark (split across shards).
+SERVE_POOL_PAGES = 512
+
+
+def run_serve(shards: int, workers: int, batch_max: int,
+              batch_window_ms: float, threads: int,
+              requests_per_thread: int, n_objects: int, n_operations: int,
+              policy_name: str, seed: int,
+              json_path: Optional[str] = None) -> int:
+    """Benchmark the concurrent query service against a serial baseline.
+
+    Prints (and optionally writes to ``json_path``) four measurements:
+
+    * **parity** -- every workload query evaluated on the sharded facade
+      vs a serial :class:`StripesIndex` fed the same operations;
+    * **serial-service baseline** -- the same queue/worker/Future
+      machinery with 1 shard, 1 worker and no batching (the honest
+      like-for-like "single-shard serial" number; the raw library-call
+      throughput is reported alongside);
+    * **sharded service under closed-loop load** -- throughput and exact
+      p50/p95/p99 latency at the tuned configuration;
+    * **overload** -- a deliberately tiny admission queue under burst
+      load, demonstrating explicit ``Overloaded`` rejection.
+    """
+    import json
+    import time as _time
+
+    from repro.obs import MetricsRegistry
+    from repro.service import (
+        HashShardPolicy,
+        LoadDriver,
+        ServiceConfig,
+        ShardedStripes,
+        StripesService,
+        VelocityBandShardPolicy,
+    )
+    from repro.workload.generator import WorkloadSpec, generate_workload
+    from repro.workload.operations import InsertOp, QueryOp, UpdateOp
+
+    spec = WorkloadSpec(n_objects=n_objects, n_operations=n_operations,
+                        update_fraction=0.2, seed=seed)
+    workload = generate_workload(spec)
+
+    def feed(ix):
+        ix.insert_batch(workload.initial)
+        queries = []
+        for op in workload.operations:
+            if isinstance(op, UpdateOp):
+                ix.update(op.old, op.new)
+            elif isinstance(op, InsertOp):
+                ix.insert(op.obj)
+            elif isinstance(op, QueryOp):
+                queries.append(op.query)
+        return queries
+
+    def make_policy():
+        if policy_name == "velocity":
+            return VelocityBandShardPolicy(spec.max_speed)
+        return HashShardPolicy()
+
+    serial = make_stripes(workload, SERVE_POOL_PAGES).index
+    queries = feed(serial)
+    if not queries:
+        print("workload produced no queries; raise --service-ops",
+              file=sys.stderr)
+        return 1
+    config = serial.config
+
+    # --- parity: sharded facade vs the serial index, exact id sets.
+    sharded = ShardedStripes(config, n_shards=shards, policy=make_policy(),
+                             pool_pages=SERVE_POOL_PAGES)
+    feed(sharded)
+    mismatches = sum(
+        1 for q in queries if set(serial.query(q)) != set(sharded.query(q)))
+    print(f"parity: {len(queries) - mismatches}/{len(queries)} queries "
+          f"match the serial index ({mismatches} mismatches)")
+    if mismatches:
+        print("PARITY FAILURE: sharded results diverge from serial",
+              file=sys.stderr)
+        return 1
+
+    # --- raw library-call throughput (no service machinery), for context.
+    t0 = _time.perf_counter()
+    n = 0
+    while _time.perf_counter() - t0 < 0.5:
+        for q in queries:
+            serial.query(q)
+            n += 1
+    library_qps = n / (_time.perf_counter() - t0)
+    print(f"library serial (direct calls):    {library_qps:>8,.0f} q/s")
+
+    def drive(service, n_threads, rpt):
+        with service:
+            LoadDriver(service, queries, n_threads=min(8, n_threads),
+                       requests_per_thread=30).run()  # warm-up
+            return LoadDriver(service, queries, n_threads=n_threads,
+                              requests_per_thread=rpt).run()
+
+    # --- serial-service baseline: same machinery, no sharding/batching.
+    base_sharded = ShardedStripes(config, n_shards=1,
+                                  pool_pages=SERVE_POOL_PAGES,
+                                  scan_threshold=0)
+    feed(base_sharded)
+    base_service = StripesService(base_sharded, ServiceConfig(
+        workers=1, max_queue=4096, batch_max=1, batch_window_s=0.0))
+    base = drive(base_service, 1, max(400, requests_per_thread))
+    print(f"serial service (1 shard/1 worker): {base.throughput_qps:>7,.0f} "
+          f"q/s   {base.format()}")
+
+    # --- the tuned sharded, micro-batching service under load.
+    registry = MetricsRegistry()
+    service = StripesService(sharded, ServiceConfig(
+        workers=workers, max_queue=4096, batch_max=batch_max,
+        batch_window_s=batch_window_ms / 1e3), registry=registry)
+    report = drive(service, threads, requests_per_thread)
+    ratio = report.throughput_qps / base.throughput_qps \
+        if base.throughput_qps else 0.0
+    batch_hist = registry.get("service_batch_size")
+    avg_batch = batch_hist.sum / batch_hist.count if batch_hist.count else 0.0
+    print(f"sharded service ({shards} shards/{workers} workers): "
+          f"{report.throughput_qps:>7,.0f} q/s   {report.format()}")
+    print(f"  avg batch {avg_batch:.1f} queries; "
+          f"{ratio:.2f}x the serial service")
+
+    # --- overload: a tiny queue under burst load must reject explicitly.
+    overload_sharded = ShardedStripes(config, n_shards=shards,
+                                      policy=make_policy(),
+                                      pool_pages=SERVE_POOL_PAGES)
+    feed(overload_sharded)
+    overload_service = StripesService(overload_sharded, ServiceConfig(
+        workers=1, max_queue=8, batch_max=4, batch_window_s=0.005))
+    overload = drive(overload_service, 32, 20)
+    print(f"overload demo (queue=8, burst of 32 threads): "
+          f"{overload.rejected} of {overload.offered} rejected "
+          f"with Overloaded")
+    if overload.rejected == 0:
+        print("OVERLOAD FAILURE: tiny queue produced no rejections",
+              file=sys.stderr)
+        return 1
+
+    if json_path:
+        snapshot = {
+            "workload": {"n_objects": n_objects,
+                         "n_operations": n_operations,
+                         "queries": len(queries), "seed": seed},
+            "config": {"shards": shards, "workers": workers,
+                       "batch_max": batch_max,
+                       "batch_window_ms": batch_window_ms,
+                       "threads": threads, "policy": policy_name,
+                       "requests_per_thread": requests_per_thread},
+            "parity": {"queries": len(queries), "mismatches": mismatches},
+            "library_serial_qps": round(library_qps, 1),
+            "serial_service": base.as_dict(),
+            "sharded_service": report.as_dict(),
+            "speedup_vs_serial_service": round(ratio, 3),
+            "avg_batch_size": round(avg_batch, 2),
+            "overload": {"offered": overload.offered,
+                         "rejected": overload.rejected},
+            "metrics": registry.to_dict(),
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="stripes-bench",
         description="Regenerate the STRIPES paper's evaluation figures.")
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ("all", "explain"),
-                        help="which figure/table to regenerate, or "
-                             "'explain' to trace one query descent")
+                        choices=EXPERIMENTS + ("all", "explain", "serve"),
+                        help="which figure/table to regenerate, 'explain' "
+                             "to trace one query descent, or 'serve' to "
+                             "benchmark the concurrent query service")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="fraction of the paper's experiment size "
                              "(default 0.01; 1.0 = paper scale)")
@@ -211,10 +387,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     explain_group.add_argument("--pool-pages", type=int, default=256,
                                help="buffer-pool pages for explain "
                                     "(default 256)")
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument("--shards", type=int, default=4,
+                             help="shard count (default 4)")
+    serve_group.add_argument("--workers", type=int, default=4,
+                             help="service worker threads (default 4)")
+    serve_group.add_argument("--batch-max", type=int, default=16,
+                             help="max queries per micro-batch (default 16)")
+    serve_group.add_argument("--batch-window-ms", type=float, default=0.5,
+                             help="batch coalescing window in ms "
+                                  "(default 0.5)")
+    serve_group.add_argument("--threads", type=int, default=64,
+                             help="closed-loop client threads (default 64)")
+    serve_group.add_argument("--requests-per-thread", type=int, default=150,
+                             help="requests each client issues "
+                                  "(default 150)")
+    serve_group.add_argument("--service-objects", type=int, default=2000,
+                             help="workload objects for serve "
+                                  "(default 2000)")
+    serve_group.add_argument("--service-ops", type=int, default=400,
+                             help="workload operations for serve "
+                                  "(default 400)")
+    serve_group.add_argument("--policy", choices=("hash", "velocity"),
+                             default="hash",
+                             help="shard policy (default hash)")
+    serve_group.add_argument("--json", metavar="PATH", default=None,
+                             help="write the serve results to PATH as JSON")
     args = parser.parse_args(argv)
     if args.experiment == "explain":
         return run_explain(args.index, args.query_type, args.n_objects,
                            args.pool_pages, args.seed)
+    if args.experiment == "serve":
+        return run_serve(args.shards, args.workers, args.batch_max,
+                         args.batch_window_ms, args.threads,
+                         args.requests_per_thread, args.service_objects,
+                         args.service_ops, args.policy, args.seed,
+                         json_path=args.json)
     scale = ExperimentScale(scale=args.scale, seed=args.seed)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

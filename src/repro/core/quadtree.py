@@ -1246,10 +1246,19 @@ class DualQuadTree:
         self.cache.free(rid)
 
     def destroy(self) -> None:
-        """Free every record of this tree (used at index rotation)."""
+        """Free every record of this tree (used at index rotation) and
+        detach its node cache from the shared buffer pool.
+
+        The detach matters for long-running services: the pool outlives
+        each rotating sub-index, and an undetached cache would stay on the
+        pool's eviction-listener list -- leaking every decoded node object
+        the retired tree ever cached and paying a dead callback per
+        eviction forever after.
+        """
         self._free_subtree(self._root_rid, self._root_is_leaf)
         self._root_rid = INVALID_RID
         self.count = 0
+        self.cache.detach()
 
     def stats(self) -> QuadTreeStats:
         """Walk the tree and collect structural statistics."""

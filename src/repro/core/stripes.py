@@ -87,6 +87,9 @@ class StripesIndex:
         self._trees: Dict[int, DualQuadTree] = {}
         #: Sub-index rotations performed (windows destroyed wholesale).
         self.rotations = 0
+        #: Pages returned to the pagefile free list by rotations; verified
+        #: against :meth:`pages_in_use` at every retirement.
+        self.pages_reclaimed = 0
         #: Optional :class:`repro.obs.tracer.Tracer` shared with every
         #: sub-index; set via :meth:`attach_tracer`.
         self.tracer: Optional[Tracer] = None
@@ -122,17 +125,52 @@ class StripesIndex:
 
     def _retire_expired(self, newest: int) -> None:
         """Keep only the two newest lifetime windows; entries in older
-        windows have exceeded their lifetime and are dropped wholesale."""
+        windows have exceeded their lifetime and are dropped wholesale.
+
+        Retirement must not leak storage across rotations: destroying the
+        retired tree frees every one of its records (returning emptied
+        pages to the pagefile's free list) and detaches its node cache
+        from the shared buffer pool.  The reclaimed page count is verified
+        via :meth:`pages_in_use` before/after and accumulated in
+        :attr:`pages_reclaimed`.
+        """
         for window in [w for w in self._trees if w < newest - 1]:
             tree = self._trees.pop(window)
             self._retired_counters.merge(tree.counters)
             self._retired_cache_hits += tree.cache.hits
             self._retired_cache_misses += tree.cache.misses
             self.rotations += 1
+            pages_before = self.pages_in_use()
+            entries_dropped = tree.count
+            tree.destroy()
+            reclaimed = pages_before - self.pages_in_use()
+            # A tiny tree may share every one of its pages with records of
+            # live windows (pages are per size class, not per tree), so
+            # zero reclaimed pages is legal -- but a rotation must never
+            # *grow* the footprint.
+            if reclaimed < 0:
+                raise RuntimeError(
+                    f"rotation of window {window} grew the page footprint "
+                    f"by {-reclaimed} pages")
+            self.pages_reclaimed += reclaimed
             if self.tracer is not None:
                 self.tracer.event("stripes.rotation", window=window,
-                                  entries_dropped=tree.count)
-            tree.destroy()
+                                  entries_dropped=entries_dropped,
+                                  pages_reclaimed=reclaimed)
+
+    def rotate_to(self, window: int) -> None:
+        """Retire every sub-index older than the two lifetime windows
+        ending at ``window`` without inserting anything.
+
+        Rotation normally rides on the arrival of an update
+        (:meth:`_tree_for_window`); a sharded deployment additionally needs
+        this explicit hook so *all* shards observe a window advance even
+        when a given shard received no write in the new window -- otherwise
+        a quiet shard would keep serving entries a serial index would have
+        expired.  No-op when ``window`` is not newer than the live ones.
+        """
+        if self._trees and window > max(self._trees):
+            self._retire_expired(newest=window)
 
     @property
     def live_windows(self) -> List[int]:
@@ -467,6 +505,9 @@ class StripesIndex:
         }
         rotations = registry.counter(f"{prefix}_rotations_total",
                                      help="sub-index windows destroyed")
+        reclaimed = registry.counter(
+            f"{prefix}_pages_reclaimed_total",
+            help="pages released to the pagefile by rotations")
         cache_hits = registry.counter(
             f"{prefix}_node_cache_decoded_hits_total",
             help="node reads served without deserialize")
@@ -490,6 +531,7 @@ class StripesIndex:
             for name, counter in op_counters.items():
                 counter.set_total(getattr(agg, name))
             rotations.set_total(self.rotations)
+            reclaimed.set_total(self.pages_reclaimed)
             cache_hits.set_total(hits)
             cache_misses.set_total(misses)
             entries.set(len(self))

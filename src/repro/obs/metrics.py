@@ -19,6 +19,14 @@ Two export formats are supported:
 
 Metric names follow the Prometheus convention (``snake_case``, counters
 end in ``_total``); see docs/OBSERVABILITY.md for the catalogue.
+
+Instruments and the registry are thread-safe: every mutation (``inc``,
+``observe``, ``set``, instrument registration, collector registration)
+happens under a per-object lock, and exports snapshot each instrument
+atomically.  This is what lets ``repro.service`` worker threads observe
+shared histograms directly while a scraper exports concurrently.  Pull
+collectors run *outside* the registry lock, so a collector may itself
+create instruments or take instrument locks without deadlocking.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
@@ -66,12 +75,13 @@ class Counter:
     """A monotonically non-decreasing count."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "_value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = _check_name(name)
         self.help = help
         self._value: float = 0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
@@ -82,15 +92,18 @@ class Counter:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease "
                              f"(inc by {amount})")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def set_total(self, value: float) -> None:
         """Overwrite the running total -- for pull collectors that mirror an
         externally maintained monotonic count (e.g. ``IOStats``)."""
-        self._value = value
+        with self._lock:
+            self._value = value
 
     def reset(self) -> None:
-        self._value = 0
+        with self._lock:
+            self._value = 0
 
     def samples(self) -> List[Tuple[str, str, float]]:
         return [(self.name, "", self._value)]
@@ -103,28 +116,33 @@ class Gauge:
     """A value that can go up and down."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "_value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = _check_name(name)
         self.help = help
         self._value: float = 0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
         return self._value
 
     def set(self, value: float) -> None:
-        self._value = value
+        with self._lock:
+            self._value = value
 
     def inc(self, amount: float = 1) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     def reset(self) -> None:
-        self._value = 0
+        with self._lock:
+            self._value = 0
 
     def samples(self) -> List[Tuple[str, str, float]]:
         return [(self.name, "", self._value)]
@@ -143,7 +161,8 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "_sum", "_count")
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "_sum", "_count",
+                 "_lock")
 
     def __init__(self, name: str, buckets: Sequence[float]
                  = DEFAULT_LATENCY_BUCKETS_S, help: str = ""):
@@ -163,6 +182,7 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        self._lock = threading.Lock()
 
     @property
     def count(self) -> int:
@@ -181,9 +201,10 @@ class Histogram:
                 hi = mid
             else:
                 lo = mid + 1
-        self.bucket_counts[lo] += 1
-        self._sum += value
-        self._count += 1
+        with self._lock:
+            self.bucket_counts[lo] += 1
+            self._sum += value
+            self._count += 1
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``q`` in [0, 1]) of the observations.
@@ -193,6 +214,10 @@ class Histogram:
         with no observations; observations in the ``+Inf`` bucket clamp to
         the largest finite bound.
         """
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
         if self._count == 0:
@@ -214,37 +239,40 @@ class Histogram:
         return self.bounds[-1]  # pragma: no cover - cumulative == count
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.bounds) + 1)
-        self._sum = 0.0
-        self._count = 0
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
 
     def samples(self) -> List[Tuple[str, str, float]]:
         out: List[Tuple[str, str, float]] = []
-        cumulative = 0
-        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
-            cumulative += bucket_count
-            out.append((f"{self.name}_bucket",
-                        f'{{le="{_format_number(bound)}"}}', cumulative))
-        out.append((f"{self.name}_bucket", '{le="+Inf"}', self._count))
-        out.append((f"{self.name}_sum", "", self._sum))
-        out.append((f"{self.name}_count", "", self._count))
+        with self._lock:
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+                cumulative += bucket_count
+                out.append((f"{self.name}_bucket",
+                            f'{{le="{_format_number(bound)}"}}', cumulative))
+            out.append((f"{self.name}_bucket", '{le="+Inf"}', self._count))
+            out.append((f"{self.name}_sum", "", self._sum))
+            out.append((f"{self.name}_count", "", self._count))
         return out
 
     def to_value(self) -> Dict[str, object]:
-        buckets: Dict[str, int] = {}
-        cumulative = 0
-        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
-            cumulative += bucket_count
-            buckets[_format_number(bound)] = cumulative
-        buckets["+Inf"] = self._count
-        return {
-            "count": self._count,
-            "sum": self._sum,
-            "buckets": buckets,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+        with self._lock:
+            buckets: Dict[str, int] = {}
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+                cumulative += bucket_count
+                buckets[_format_number(bound)] = cumulative
+            buckets["+Inf"] = self._count
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": buckets,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
 
 
 class MetricsRegistry:
@@ -258,22 +286,26 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
         self._collectors: List[Callable[[], None]] = []
+        # RLock: a collector running during an export may get-or-create
+        # instruments, re-entering the registry from the same thread.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Instrument creation / lookup
     # ------------------------------------------------------------------ #
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is not None:
-            if not isinstance(metric, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(metric).kind}, not {cls.kind}")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if not isinstance(metric, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(metric).kind}, not {cls.kind}")
+                return metric
+            metric = cls(name, help=help, **kwargs)
+            self._metrics[name] = metric
             return metric
-        metric = cls(name, help=help, **kwargs)
-        self._metrics[name] = metric
-        return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create the counter ``name``."""
@@ -292,14 +324,17 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[object]:
         """The instrument registered under ``name``, or None."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def names(self) -> List[str]:
         """Registered metric names, sorted."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     # ------------------------------------------------------------------ #
     # Collectors
@@ -308,11 +343,17 @@ class MetricsRegistry:
     def register_collector(self, collector: Callable[[], None]) -> None:
         """Register a callback run before every export; collectors copy
         externally maintained counters into registry instruments."""
-        self._collectors.append(collector)
+        with self._lock:
+            self._collectors.append(collector)
 
     def collect(self) -> None:
-        """Run every registered collector (exports call this for you)."""
-        for collector in self._collectors:
+        """Run every registered collector (exports call this for you).
+
+        The collector list is snapshotted under the lock but the callbacks
+        run outside it, so a collector may create instruments."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
             collector()
 
     # ------------------------------------------------------------------ #
@@ -322,9 +363,11 @@ class MetricsRegistry:
     def expose_text(self) -> str:
         """The registry in the Prometheus text exposition format."""
         self.collect()
+        with self._lock:
+            metrics = {name: self._metrics[name]
+                       for name in sorted(self._metrics)}
         lines: List[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name, metric in metrics.items():
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
@@ -336,10 +379,12 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, Dict[str, object]]:
         """Snapshot as ``{kind: {name: value-or-histogram-dict}}``."""
         self.collect()
+        with self._lock:
+            metrics = {name: self._metrics[name]
+                       for name in sorted(self._metrics)}
         out: Dict[str, Dict[str, object]] = {
             "counters": {}, "gauges": {}, "histograms": {}}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name, metric in metrics.items():
             out[metric.kind + "s"][name] = metric.to_value()
         return out
 
@@ -349,5 +394,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument (collectors stay registered)."""
-        for metric in self._metrics.values():
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
             metric.reset()

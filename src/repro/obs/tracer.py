@@ -19,6 +19,7 @@ Two complementary instruments live here:
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
@@ -57,7 +58,14 @@ class Tracer:
 
     Spans are cheap plain objects; a tracer is meant to be attached for
     one traced operation (or a debugging session) and read back via
-    :attr:`roots`.  Not thread-safe -- one tracer per thread.
+    :attr:`roots`.
+
+    Thread-safe: the open-span stack is *thread-local* (each thread nests
+    its own spans; a worker's spans never become children of another
+    thread's span), while the shared :attr:`roots` / :attr:`orphan_events`
+    lists are guarded by a lock.  Mutating an individual :class:`Span`
+    (``add_event`` on the thread that opened it) needs no lock because a
+    span is only written by its opening thread while open.
     """
 
     def __init__(self, clock=time.perf_counter):
@@ -66,50 +74,69 @@ class Tracer:
         #: Events recorded while no span was open (e.g. a sub-index
         #: rotation triggered by a plain update).
         self.orphan_events: List[Tuple[str, Dict[str, object]]] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.RLock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def current(self) -> Optional[Span]:
-        """The innermost open span, or None."""
-        return self._stack[-1] if self._stack else None
+        """The innermost span open *on the calling thread*, or None."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Span]:
         """Open a span for the duration of the ``with`` block."""
         span = Span(name, dict(attrs))
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         span.start_s = self._clock()
         try:
             yield span
         finally:
             span.duration_s = self._clock() - span.start_s
-            self._stack.pop()
+            stack.pop()
 
     def event(self, name: str, **attrs: object) -> None:
-        """Attach a point-in-time event to the open span; with no span
-        open the event is kept in :attr:`orphan_events` instead."""
-        if self._stack:
-            self._stack[-1].add_event(name, **attrs)
+        """Attach a point-in-time event to the span open on the calling
+        thread; with no span open the event is kept in
+        :attr:`orphan_events` instead."""
+        stack = self._stack
+        if stack:
+            stack[-1].add_event(name, **attrs)
         else:
-            self.orphan_events.append((name, attrs))
+            with self._lock:
+                self.orphan_events.append((name, attrs))
 
     def reset(self) -> None:
         """Drop all recorded spans and orphan events (open spans keep
         recording)."""
-        self.roots = []
-        self.orphan_events = []
+        with self._lock:
+            self.roots = []
+            self.orphan_events = []
 
     def format(self) -> str:
         """All recorded root spans (and orphan events) as an indented
         text tree."""
+        with self._lock:
+            roots = list(self.roots)
+            orphans = list(self.orphan_events)
         lines: List[str] = []
-        for root in self.roots:
+        for root in roots:
             lines.extend(root.tree_lines())
-        for name, attrs in self.orphan_events:
+        for name, attrs in orphans:
             extra = "".join(f" {k}={v}" for k, v in attrs.items())
             lines.append(f"* {name}{extra}")
         return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""The concurrent STRIPES query service (docs/SERVICE.md).
+
+Turns the single-threaded library into a sharded, concurrent service:
+
+* :class:`repro.service.sharding.ShardedStripes` -- N independent
+  :class:`repro.core.stripes.StripesIndex` shards (private pagefile +
+  buffer pool each) behind a pluggable :class:`ShardPolicy`, with
+  per-shard reader/writer locks and fan-out query + merge.
+* :class:`repro.service.service.StripesService` -- a worker thread pool
+  behind a bounded request queue with micro-batching (concurrent queries
+  coalesce into one vectorized ``query_batch`` per shard), explicit
+  ``Overloaded`` rejection, per-request deadlines, and graceful drain.
+* :class:`repro.service.client.ServiceClient` /
+  :class:`repro.service.client.LoadDriver` -- the synchronous handle and
+  the closed-loop load generator behind ``stripes-bench serve``.
+"""
+
+from repro.service.client import LoadDriver, LoadReport, ServiceClient
+from repro.service.engine import CompiledBatch, ShardMirror, evaluate_batch
+from repro.service.service import (
+    Overloaded,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceConfig,
+    StripesService,
+)
+from repro.service.sharding import (
+    HashShardPolicy,
+    RWLock,
+    ShardedStripes,
+    ShardPolicy,
+    VelocityBandShardPolicy,
+)
+
+__all__ = [
+    "ShardedStripes",
+    "ShardPolicy",
+    "HashShardPolicy",
+    "VelocityBandShardPolicy",
+    "RWLock",
+    "StripesService",
+    "ServiceConfig",
+    "Overloaded",
+    "RequestTimeout",
+    "ServiceClosed",
+    "ServiceClient",
+    "LoadDriver",
+    "LoadReport",
+    "CompiledBatch",
+    "ShardMirror",
+    "evaluate_batch",
+]

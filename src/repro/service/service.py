@@ -1,0 +1,387 @@
+"""The concurrent STRIPES query service: workers, micro-batching,
+backpressure.
+
+:class:`StripesService` fronts a :class:`repro.service.sharding.
+ShardedStripes` with a thread pool behind a *bounded* request queue:
+
+* **Micro-batching** -- a worker that picks up a request keeps draining
+  the queue for up to ``batch_window_s`` seconds or ``batch_max``
+  requests, then evaluates the whole batch in one
+  ``ShardedStripes.query_batch`` fan-out.  Concurrent callers therefore
+  share one vectorized evaluation instead of paying per-query descents,
+  which is what buys the service its throughput on a single core.
+* **Admission control** -- a full queue rejects immediately with
+  :class:`Overloaded` (explicit, never silent); per-request deadlines
+  (``timeout_s``) are enforced at dequeue time, failing expired requests
+  with :class:`RequestTimeout` instead of wasting evaluation on them.
+* **Graceful drain** -- ``close()`` stops admissions, lets workers finish
+  the queue (``drain=True``, the default) or fails pending requests with
+  :class:`ServiceClosed` (``drain=False``), then joins the workers.
+
+Writes (``insert``/``update``/``delete``) pass through to the sharded
+facade inline on the caller's thread under the per-shard writer locks --
+an update on one shard never blocks queries on another, and queries on
+the *same* shard only wait for the short exclusive section.
+
+All queue/batch/latency signals are exported through ``repro.obs``
+metrics when a registry is attached (see docs/SERVICE.md for the
+catalogue).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.query.types import MovingObjectState, PredictiveQuery
+from repro.service.sharding import ShardedStripes
+
+__all__ = ["ServiceConfig", "StripesService", "Overloaded",
+           "RequestTimeout", "ServiceClosed"]
+
+
+class Overloaded(RuntimeError):
+    """The request queue is full; the caller must back off and retry."""
+
+
+class RequestTimeout(TimeoutError):
+    """The request's deadline expired before a worker evaluated it."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shut down (or shutting down) and admits no work."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`StripesService` (see docs/SERVICE.md).
+
+    The batching defaults are the measured optimum of the ``stripes-bench
+    serve`` tuning matrix on the paper's workload shape: small-ish batches
+    (16) keep the flat engine's ``(B, N)`` temporaries cache-resident and
+    the per-batch GIL hold short, and a half-millisecond window is enough
+    coalescing time under concurrent load without dominating latency.
+    """
+
+    workers: int = 4
+    #: Bounded queue capacity; submissions beyond it raise ``Overloaded``.
+    max_queue: int = 256
+    #: Upper bound on queries coalesced into one evaluation batch.
+    batch_max: int = 16
+    #: How long a worker waits to grow a non-empty batch, in seconds.
+    batch_window_s: float = 0.0005
+    #: Default per-request deadline; ``None`` means no deadline.
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.batch_max <= 0:
+            raise ValueError("batch_max must be positive")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+
+
+class _Request:
+    __slots__ = ("query", "future", "deadline", "enqueued_at")
+
+    def __init__(self, query: PredictiveQuery, future: Future,
+                 deadline: Optional[float], enqueued_at: float):
+        self.query = query
+        self.future = future
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+
+
+#: Batch-size histogram buckets (requests per evaluated batch).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class _RequestQueue:
+    """Bounded MPMC queue with *bulk* dequeue.
+
+    ``queue.Queue`` costs one lock round-trip per dequeued item; at
+    micro-batch sizes of 32-64 that per-item overhead dominates the
+    coalescing loop.  This queue lets a worker take up to ``n`` requests
+    under a single lock acquisition instead.
+    """
+
+    __slots__ = ("_maxsize", "_items", "_lock", "_not_empty")
+
+    def __init__(self, maxsize: int):
+        self._maxsize = maxsize
+        self._items: "deque[_Request]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def put_nowait(self, item: "_Request") -> bool:
+        """Append ``item``; False when the queue is at capacity."""
+        with self._lock:
+            if len(self._items) >= self._maxsize:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def pop_up_to(self, n: int, timeout: float) -> "List[_Request]":
+        """Pop up to ``n`` items, waiting up to ``timeout`` for the first.
+
+        May return an empty list early (another worker drained the wakeup);
+        callers loop on their own deadline.
+        """
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+                if not self._items:
+                    return []
+            popleft = self._items.popleft
+            return [popleft() for _ in range(min(n, len(self._items)))]
+
+    def drain(self) -> "List[_Request]":
+        """Atomically empty the queue, returning everything pending."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class StripesService:
+    """A thread-pool query service over a sharded STRIPES index.
+
+    Start with a context manager or :meth:`start`; submit queries with
+    :meth:`query` (synchronous) or :meth:`submit` (returns a
+    ``concurrent.futures.Future``).
+    """
+
+    def __init__(self, sharded: ShardedStripes,
+                 config: ServiceConfig = ServiceConfig(),
+                 registry=None):
+        self.sharded = sharded
+        self.config = config
+        self._queue = _RequestQueue(config.max_queue)
+        self._workers: List[threading.Thread] = []
+        self._closing = threading.Event()
+        self._started = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        # Metric instruments default to None-checks so an unmetered
+        # service pays nothing.
+        self._m_requests = self._m_rejected = self._m_timeouts = None
+        self._m_batches = self._m_errors = None
+        self._h_batch_size = self._h_latency = None
+        if registry is not None:
+            self.attach_metrics(registry)
+
+    # ---------------------------------------------------------------- #
+    # Lifecycle
+    # ---------------------------------------------------------------- #
+
+    def start(self) -> "StripesService":
+        """Spawn the worker threads (idempotent)."""
+        if self._closing.is_set():
+            raise ServiceClosed("service already closed")
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.config.workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"stripes-worker-{i}",
+                                      daemon=True)
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def __enter__(self) -> "StripesService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting work and shut the workers down.
+
+        ``drain=True`` evaluates everything already queued; ``drain=False``
+        fails queued requests with :class:`ServiceClosed` immediately.
+        Idempotent.
+        """
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        if not drain:
+            for request in self._queue.drain():
+                request.future.set_exception(
+                    ServiceClosed("service closed before evaluation"))
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closing.is_set()
+
+    # ---------------------------------------------------------------- #
+    # Submission
+    # ---------------------------------------------------------------- #
+
+    def submit(self, query: PredictiveQuery,
+               timeout_s: Optional[float] = None) -> Future:
+        """Enqueue ``query``; returns a Future resolving to the id list.
+
+        Raises :class:`ServiceClosed` after shutdown began and
+        :class:`Overloaded` when the bounded queue is full -- overload is
+        an explicit signal, never a silent drop.
+        """
+        if not self._started or self._closing.is_set():
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
+            raise ServiceClosed("service is not accepting requests")
+        now = time.perf_counter()
+        effective = timeout_s if timeout_s is not None \
+            else self.config.default_timeout_s
+        deadline = now + effective if effective is not None else None
+        request = _Request(query, Future(), deadline, now)
+        if not self._queue.put_nowait(request):
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
+            raise Overloaded(
+                f"request queue full ({self.config.max_queue} pending)")
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        return request.future
+
+    def query(self, query: PredictiveQuery,
+              timeout_s: Optional[float] = None) -> List[int]:
+        """Synchronous submit + wait; raises what the Future raises."""
+        return self.submit(query, timeout_s=timeout_s).result()
+
+    # ---------------------------------------------------------------- #
+    # Workers
+    # ---------------------------------------------------------------- #
+
+    def _worker_loop(self) -> None:
+        cfg = self.config
+        while True:
+            batch = self._queue.pop_up_to(cfg.batch_max, timeout=0.05)
+            if not batch:
+                if self._closing.is_set():
+                    return
+                continue
+            if len(batch) < cfg.batch_max and cfg.batch_window_s > 0:
+                window_ends = time.perf_counter() + cfg.batch_window_s
+                while len(batch) < cfg.batch_max:
+                    remaining = window_ends - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    batch.extend(self._queue.pop_up_to(
+                        cfg.batch_max - len(batch), remaining))
+            self._evaluate(batch)
+
+    def _evaluate(self, batch: List[_Request]) -> None:
+        now = time.perf_counter()
+        live: List[_Request] = []
+        for request in batch:
+            if request.future.cancelled():
+                continue
+            if request.deadline is not None and now > request.deadline:
+                if self._m_timeouts is not None:
+                    self._m_timeouts.inc()
+                request.future.set_exception(RequestTimeout(
+                    f"deadline exceeded after "
+                    f"{now - request.enqueued_at:.3f}s in queue"))
+                continue
+            live.append(request)
+        if not live:
+            return
+        with self._inflight_lock:
+            self._inflight += len(live)
+        try:
+            results = self.sharded.query_batch([r.query for r in live])
+        except Exception as exc:  # noqa: BLE001 - forwarded to callers
+            if self._m_errors is not None:
+                self._m_errors.inc(len(live))
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        finally:
+            with self._inflight_lock:
+                self._inflight -= len(live)
+        done = time.perf_counter()
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._h_batch_size.observe(len(live))
+            for request in live:
+                self._h_latency.observe(done - request.enqueued_at)
+        for request, result in zip(live, results):
+            request.future.set_result(result)
+
+    # ---------------------------------------------------------------- #
+    # Writes (inline, per-shard locking inside the facade)
+    # ---------------------------------------------------------------- #
+
+    def insert(self, obj: MovingObjectState) -> None:
+        if self._closing.is_set():
+            raise ServiceClosed("service is not accepting writes")
+        self.sharded.insert(obj)
+
+    def delete(self, obj: MovingObjectState) -> bool:
+        if self._closing.is_set():
+            raise ServiceClosed("service is not accepting writes")
+        return self.sharded.delete(obj)
+
+    def update(self, old: Optional[MovingObjectState],
+               new: MovingObjectState) -> bool:
+        if self._closing.is_set():
+            raise ServiceClosed("service is not accepting writes")
+        return self.sharded.update(old, new)
+
+    # ---------------------------------------------------------------- #
+    # Observability
+    # ---------------------------------------------------------------- #
+
+    def attach_metrics(self, registry, prefix: str = "service") -> None:
+        """Export queue/batch/latency instruments into ``registry``."""
+        from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S
+
+        self._m_requests = registry.counter(
+            f"{prefix}_requests_total", help="queries admitted")
+        self._m_rejected = registry.counter(
+            f"{prefix}_rejected_total",
+            help="queries rejected (queue full or closed)")
+        self._m_timeouts = registry.counter(
+            f"{prefix}_timeouts_total",
+            help="queries expired before evaluation")
+        self._m_batches = registry.counter(
+            f"{prefix}_batches_total", help="micro-batches evaluated")
+        self._m_errors = registry.counter(
+            f"{prefix}_errors_total", help="queries failed with an error")
+        self._h_batch_size = registry.histogram(
+            f"{prefix}_batch_size", buckets=BATCH_SIZE_BUCKETS,
+            help="queries coalesced per evaluated batch")
+        self._h_latency = registry.histogram(
+            f"{prefix}_latency_seconds", buckets=DEFAULT_LATENCY_BUCKETS_S,
+            help="enqueue-to-result latency")
+        queue_depth = registry.gauge(
+            f"{prefix}_queue_depth", help="requests waiting in the queue")
+        inflight = registry.gauge(
+            f"{prefix}_inflight", help="requests being evaluated right now")
+        workers = registry.gauge(
+            f"{prefix}_workers", help="worker thread count")
+
+        def collect() -> None:
+            queue_depth.set(len(self._queue))
+            with self._inflight_lock:
+                inflight.set(self._inflight)
+            workers.set(len(self._workers))
+
+        registry.register_collector(collect)
+        self.sharded.attach_metrics(registry, prefix=f"{prefix}_sharded")

@@ -21,6 +21,16 @@ the node is correctly charged a physical read.
 :class:`repro.obs.metrics.MetricsRegistry` through a pull collector: the
 hot paths keep incrementing the same plain integers, and the registry
 mirrors them only when an export is taken.
+
+Concurrency invariant (single writer per shard)
+-----------------------------------------------
+The pool itself is *not* internally locked.  In the concurrent service
+(``repro.service``) each shard owns a private pagefile + pool, and the
+shard's lock model guarantees at most one thread operates on the pool at
+a time: writers hold the shard's exclusive lock, and tree-descent reads
+(which mutate LRU order and pin counts) are serialized by the shard's
+tree mutex.  Sharing one pool between unsynchronized threads is
+unsupported.
 """
 
 from __future__ import annotations
@@ -71,6 +81,17 @@ class BufferPool:
     def add_eviction_listener(self, listener: Callable[[int], None]) -> None:
         """Register a callback invoked with the page id of every eviction."""
         self._eviction_listeners.append(listener)
+
+    def remove_eviction_listener(self, listener: Callable[[int], None]) \
+            -> None:
+        """Unregister a previously added eviction listener (no-op if
+        absent).  Listener owners that die before the pool (e.g. a retired
+        sub-index's node cache) must call this, or the pool keeps them --
+        and everything they reference -- alive and keeps invoking them."""
+        try:
+            self._eviction_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def attach_metrics(self, registry, prefix: str = "pool") -> None:
         """Mirror this pool's counters into ``registry`` (a

@@ -17,11 +17,23 @@ semantics: every read still performs a (logical) page access through the
 buffer pool -- so IO accounting is identical to a system that parses node
 bytes on every access -- but Python-level deserialization is skipped while
 the page stays resident.  Mutations serialize immediately into the page.
+
+Concurrency invariant (single writer per shard)
+-----------------------------------------------
+:class:`RecordStore` relies on the same discipline as the buffer pool it
+wraps: exactly one thread mutates a shard's store at a time (the shard
+writer lock in ``repro.service.sharding``), and tree-descent reads -- which
+touch the pool's LRU state -- are serialized by the shard's tree mutex.
+:class:`NodeCache` additionally holds its own ``threading.RLock`` around
+its object-map mutation, because pool eviction callbacks and cache lookups
+can interleave re-entrantly; the lock makes the cache safe to *read* from
+the descent path while the single writer mutates it.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Callable, Dict, Generic, Set, TypeVar
 
 from repro.storage.buffer_pool import BufferPool
@@ -324,12 +336,17 @@ class NodeCache(Generic[T]):
         # Plain ints on the hot path; pulled into a registry on export.
         self.hits = 0
         self.misses = 0
+        # RLock: the pool's eviction callback (_on_eviction) can fire
+        # inside get()'s fetch while this cache holds the lock.
+        self._lock = threading.RLock()
+        self._detached = False
         store.pool.add_eviction_listener(self._on_eviction)
 
     def get(self, rid: int) -> T:
         """Fetch the node for ``rid`` (page access always goes through the
         buffer pool; deserialization is skipped on object-cache hits)."""
-        entry = self._objects.get(rid)
+        with self._lock:
+            entry = self._objects.get(rid)
         if entry is not None \
                 and entry[0] == self.store._record_gen.get(rid, 0):
             # Hit: the page access still happens and is counted exactly
@@ -366,15 +383,37 @@ class NodeCache(Generic[T]):
     def free(self, rid: int) -> None:
         """Delete the record and drop the cached object."""
         self.store.free(rid)
-        entry = self._objects.pop(rid, None)
-        if entry is not None:
-            page_rids = self._rids_by_page.get(rid_page(rid))
-            if page_rids is not None:
-                page_rids.discard(rid)
+        with self._lock:
+            entry = self._objects.pop(rid, None)
+            if entry is not None:
+                page_rids = self._rids_by_page.get(rid_page(rid))
+                if page_rids is not None:
+                    page_rids.discard(rid)
+
+    def detach(self) -> None:
+        """Disconnect this cache from its (shared) buffer pool and drop
+        every cached object.
+
+        A :class:`RecordStore`'s pool may outlive any one cache built on
+        top of it (each rotating STRIPES sub-index creates its own cache
+        over the index-wide pool).  Without detaching, the pool's eviction
+        listener list would keep the dead cache -- and every node object it
+        holds -- reachable forever, and keep paying a callback per
+        eviction.  Idempotent; the cache remains usable as a pass-through
+        (every ``get`` decodes) afterwards, but is not meant to be.
+        """
+        with self._lock:
+            if self._detached:
+                return
+            self._detached = True
+            self._objects.clear()
+            self._rids_by_page.clear()
+        self.store.pool.remove_eviction_listener(self._on_eviction)
 
     def cached_count(self) -> int:
         """Number of node objects currently cached (test helper)."""
-        return len(self._objects)
+        with self._lock:
+            return len(self._objects)
 
     def attach_metrics(self, registry, prefix: str = "node_cache") -> None:
         """Expose deserialization hit/miss counters and the cached-object
@@ -394,11 +433,15 @@ class NodeCache(Generic[T]):
         registry.register_collector(collect)
 
     def _remember(self, rid: int, obj: T) -> None:
-        self._objects[rid] = (self.store.generation_of(rid), obj)
-        self._rids_by_page.setdefault(rid_page(rid), set()).add(rid)
+        with self._lock:
+            if self._detached:
+                return
+            self._objects[rid] = (self.store.generation_of(rid), obj)
+            self._rids_by_page.setdefault(rid_page(rid), set()).add(rid)
 
     def _on_eviction(self, page_id: int) -> None:
-        rids = self._rids_by_page.pop(page_id, None)
-        if rids:
-            for rid in rids:
-                self._objects.pop(rid, None)
+        with self._lock:
+            rids = self._rids_by_page.pop(page_id, None)
+            if rids:
+                for rid in rids:
+                    self._objects.pop(rid, None)

@@ -1,0 +1,116 @@
+"""Rotation must not leak storage: retired windows free their pages and
+detach their node caches from the shared buffer pool (the PR-3 fix to
+``StripesIndex._retire_expired``)."""
+
+import random
+
+import pytest
+
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.query.types import MovingObjectState
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pagefile import InMemoryPageFile
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=30.0)
+
+
+def bulk_states(rng, n, t, oid_base=0):
+    return [MovingObjectState(
+        oid_base + i,
+        tuple(rng.uniform(0, p) for p in CONFIG.pmax),
+        tuple(rng.uniform(-v, v) for v in CONFIG.vmax),
+        t) for i in range(n)]
+
+
+def test_rotation_releases_pages():
+    """Retiring a well-populated window must shrink pages_in_use and be
+    accounted in pages_reclaimed."""
+    rng = random.Random(31)
+    index = StripesIndex(CONFIG)
+    index.insert_batch(bulk_states(rng, 400, t=1.0))
+    pages_full = index.pages_in_use()
+    assert pages_full > 0
+    assert index.pages_reclaimed == 0
+    # Jump two lifetime windows ahead: window 0 retires wholesale.
+    index.insert(MovingObjectState(
+        9000, (50.0, 50.0), (0.0, 0.0), 2 * CONFIG.lifetime + 1.0))
+    assert index.rotations == 1
+    assert index.pages_reclaimed > 0
+    assert index.pages_in_use() < pages_full
+    assert len(index) == 1
+
+
+def test_rotate_to_is_a_noop_for_live_windows():
+    index = StripesIndex(CONFIG)
+    index.insert(MovingObjectState(1, (10.0, 10.0), (0.0, 0.0), 1.0))
+    index.rotate_to(0)
+    index.rotate_to(1)
+    assert index.rotations == 0
+    assert len(index) == 1
+
+
+def test_rotate_to_retires_without_an_insert():
+    index = StripesIndex(CONFIG)
+    rng = random.Random(32)
+    index.insert_batch(bulk_states(rng, 50, t=1.0))
+    index.rotate_to(2)
+    assert index.rotations == 1
+    assert len(index) == 0
+
+
+def test_destroy_detaches_eviction_listener():
+    """Every rotation must remove the retired tree's cache from the
+    pool's eviction-listener list (the long-service leak)."""
+    pool = BufferPool(InMemoryPageFile(), capacity=64)
+    index = StripesIndex(CONFIG, pool)
+    rng = random.Random(33)
+    baseline = len(pool._eviction_listeners)
+    for round_i in range(4):
+        t = round_i * 2 * CONFIG.lifetime + 1.0
+        index.insert_batch(bulk_states(rng, 30, t=t, oid_base=round_i * 100))
+        # One live window registers one listener; retired ones must be gone.
+        assert len(pool._eviction_listeners) <= baseline + 2
+    assert index.rotations >= 3
+
+
+def test_node_cache_detach_is_idempotent():
+    index = StripesIndex(CONFIG)
+    index.insert(MovingObjectState(1, (10.0, 10.0), (0.0, 0.0), 1.0))
+    (tree,) = index._trees.values()
+    pool = index.pool
+    before = len(pool._eviction_listeners)
+    tree.cache.detach()
+    assert len(pool._eviction_listeners) == before - 1
+    tree.cache.detach()  # second detach must be a no-op
+    assert len(pool._eviction_listeners) == before - 1
+    assert tree.cache.cached_count() == 0
+
+
+def test_detached_cache_ignores_late_traffic():
+    """After detach, _remember and eviction callbacks must be inert."""
+    index = StripesIndex(CONFIG)
+    rng = random.Random(34)
+    index.insert_batch(bulk_states(rng, 20, t=1.0))
+    (tree,) = index._trees.values()
+    cache = tree.cache
+    cache.detach()
+    # Queries after detach still work (decode misses, just no caching).
+    from repro.query.types import TimeSliceQuery
+    result = index.query(TimeSliceQuery((0.0, 0.0), CONFIG.pmax, 2.0))
+    assert len(result) == 20
+    assert cache.cached_count() == 0
+
+
+def test_pages_reclaimed_metric_exported():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    index = StripesIndex(CONFIG)
+    index.attach_metrics(registry)
+    rng = random.Random(35)
+    index.insert_batch(bulk_states(rng, 200, t=1.0))
+    index.rotate_to(5)
+    registry.collect()
+    assert registry.get("stripes_pages_reclaimed_total").to_value() \
+        == index.pages_reclaimed
+    assert index.pages_reclaimed > 0

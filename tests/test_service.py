@@ -1,0 +1,273 @@
+"""Tests for the query service front end: micro-batching, admission
+control (``Overloaded``), deadlines (``RequestTimeout``), graceful
+drain, and the metrics surface."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.stripes import StripesConfig
+from repro.obs import MetricsRegistry
+from repro.query.types import MovingObjectState, TimeSliceQuery
+from repro.service import (
+    Overloaded,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceConfig,
+    ShardedStripes,
+    StripesService,
+)
+from repro.service.service import _RequestQueue
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=30.0)
+
+EVERYTHING = TimeSliceQuery((0.0, 0.0), CONFIG.pmax, 1.0)
+
+
+def make_sharded(n_objects=20):
+    sharded = ShardedStripes(CONFIG, n_shards=2)
+    for oid in range(n_objects):
+        sharded.insert(MovingObjectState(
+            oid, (float(5 * oid % 190), 50.0), (0.5, -0.5), 0.0))
+    return sharded
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_max=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_window_s=-0.1)
+
+
+class TestRequestQueue:
+    def test_bounded_put(self):
+        q = _RequestQueue(2)
+        assert q.put_nowait("a") and q.put_nowait("b")
+        assert not q.put_nowait("c")
+        assert len(q) == 2
+
+    def test_bulk_pop_preserves_order(self):
+        q = _RequestQueue(10)
+        for item in "abcde":
+            q.put_nowait(item)
+        assert q.pop_up_to(3, timeout=0.01) == ["a", "b", "c"]
+        assert q.pop_up_to(10, timeout=0.01) == ["d", "e"]
+        assert q.pop_up_to(1, timeout=0.01) == []
+
+    def test_drain_empties(self):
+        q = _RequestQueue(10)
+        q.put_nowait("a")
+        q.put_nowait("b")
+        assert q.drain() == ["a", "b"]
+        assert len(q) == 0
+
+
+class TestLifecycle:
+    def test_query_round_trip(self):
+        service = StripesService(make_sharded(), ServiceConfig(workers=2))
+        with service:
+            result = service.query(EVERYTHING)
+        assert sorted(result) == list(range(20))
+
+    def test_submit_returns_future(self):
+        with StripesService(make_sharded()) as service:
+            future = service.submit(EVERYTHING)
+            assert sorted(future.result(timeout=5)) == list(range(20))
+
+    def test_unstarted_service_rejects(self):
+        service = StripesService(make_sharded())
+        with pytest.raises(ServiceClosed):
+            service.submit(EVERYTHING)
+
+    def test_closed_service_rejects(self):
+        service = StripesService(make_sharded())
+        service.start()
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(EVERYTHING)
+        with pytest.raises(ServiceClosed):
+            service.insert(MovingObjectState(99, (1.0, 1.0), (0.0, 0.0), 0.0))
+
+    def test_close_is_idempotent(self):
+        service = StripesService(make_sharded())
+        service.start()
+        service.close()
+        service.close()
+
+    def test_start_after_close_raises(self):
+        service = StripesService(make_sharded())
+        service.start()
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.start()
+
+    def test_writes_pass_through(self):
+        with StripesService(make_sharded(n_objects=1)) as service:
+            service.insert(MovingObjectState(50, (10.0, 10.0),
+                                             (0.0, 0.0), 0.0))
+            assert 50 in service.query(EVERYTHING)
+            old = MovingObjectState(50, (10.0, 10.0), (0.0, 0.0), 0.0)
+            new = MovingObjectState(50, (20.0, 20.0), (0.0, 0.0), 1.0)
+            assert service.update(old, new) is True
+            assert service.delete(new) is True
+            assert 50 not in service.query(EVERYTHING)
+
+
+class TestBatching:
+    def test_concurrent_queries_coalesce(self):
+        registry = MetricsRegistry()
+        sharded = make_sharded()
+        config = ServiceConfig(workers=1, batch_max=16,
+                               batch_window_s=0.05)
+        with StripesService(sharded, config, registry=registry) as service:
+            futures = [service.submit(EVERYTHING) for _ in range(16)]
+            results = [sorted(f.result(timeout=5)) for f in futures]
+        assert all(r == list(range(20)) for r in results)
+        hist = registry.get("service_batch_size")
+        assert hist.count >= 1
+        # With one worker and a wide window, at least one multi-request
+        # batch must have formed.
+        assert hist.sum > hist.count
+
+    def test_batch_max_bounds_batch_size(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(workers=1, batch_max=4, batch_window_s=0.05)
+        with StripesService(make_sharded(), config,
+                            registry=registry) as service:
+            futures = [service.submit(EVERYTHING) for _ in range(12)]
+            for f in futures:
+                f.result(timeout=5)
+        hist = registry.get("service_batch_size")
+        buckets = hist.to_value()["buckets"]
+        assert buckets["4"] == hist.count  # every batch held <= 4
+
+
+class TestAdmissionControl:
+    def test_overloaded_raises_when_queue_full(self):
+        sharded = make_sharded()
+        config = ServiceConfig(workers=1, max_queue=2, batch_max=1,
+                               batch_window_s=0.0)
+        service = StripesService(sharded, config)
+        # Fill the queue before starting workers: the third submit must
+        # be rejected explicitly, never silently dropped.
+        service._started = True
+        service.submit(EVERYTHING)
+        service.submit(EVERYTHING)
+        with pytest.raises(Overloaded):
+            service.submit(EVERYTHING)
+        # Now let the workers drain what was admitted.
+        service._started = False
+        service.start()
+        service.close(drain=True)
+
+    def test_rejected_counter_increments(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(workers=1, max_queue=1)
+        service = StripesService(make_sharded(), config, registry=registry)
+        service._started = True
+        service.submit(EVERYTHING)
+        with pytest.raises(Overloaded):
+            service.submit(EVERYTHING)
+        assert registry.get("service_rejected_total").to_value() == 1
+        service._started = False
+        service.start()
+        service.close()
+
+    def test_deadline_expires_in_queue(self):
+        registry = MetricsRegistry()
+        config = ServiceConfig(workers=1, batch_max=8, batch_window_s=0.0)
+        service = StripesService(make_sharded(), config, registry=registry)
+        service._started = True  # queue without workers: requests age
+        future = service.submit(EVERYTHING, timeout_s=0.01)
+        time.sleep(0.05)
+        service._started = False
+        service.start()
+        with pytest.raises(RequestTimeout):
+            future.result(timeout=5)
+        service.close()
+        assert registry.get("service_timeouts_total").to_value() == 1
+
+    def test_default_timeout_from_config(self):
+        config = ServiceConfig(workers=1, default_timeout_s=0.01)
+        service = StripesService(make_sharded(), config)
+        service._started = True
+        future = service.submit(EVERYTHING)
+        time.sleep(0.05)
+        service._started = False
+        service.start()
+        with pytest.raises(RequestTimeout):
+            future.result(timeout=5)
+        service.close()
+
+
+class TestDrain:
+    def test_drain_completes_pending_work(self):
+        service = StripesService(make_sharded(),
+                                 ServiceConfig(workers=2, batch_max=4))
+        service.start()
+        futures = [service.submit(EVERYTHING) for _ in range(20)]
+        service.close(drain=True)
+        for future in futures:
+            assert sorted(future.result(timeout=5)) == list(range(20))
+
+    def test_no_drain_fails_pending_with_service_closed(self):
+        service = StripesService(make_sharded(), ServiceConfig(workers=1))
+        service._started = True  # enqueue with no workers running
+        futures = [service.submit(EVERYTHING) for _ in range(5)]
+        service._started = False
+        service.start()
+        service.close(drain=False)
+        closed = sum(
+            1 for f in futures
+            if isinstance(f.exception(timeout=5), ServiceClosed))
+        # Workers may legitimately grab a prefix before close lands, but
+        # everything still queued must fail explicitly.
+        assert closed + sum(1 for f in futures if f.exception() is None) \
+            == len(futures)
+
+
+class TestMetricsSurface:
+    def test_attach_metrics_exports_catalogue(self):
+        registry = MetricsRegistry()
+        with StripesService(make_sharded(), ServiceConfig(workers=1),
+                            registry=registry) as service:
+            service.query(EVERYTHING)
+            registry.collect()
+        names = registry.names()
+        for expected in ("service_requests_total", "service_rejected_total",
+                         "service_timeouts_total", "service_batches_total",
+                         "service_errors_total", "service_batch_size",
+                         "service_latency_seconds", "service_queue_depth",
+                         "service_inflight", "service_workers",
+                         "service_sharded_pages_in_use",
+                         "service_sharded_shards",
+                         "service_sharded_shard0_batch_seconds",
+                         "service_sharded_shard0_entries"):
+            assert expected in names, expected
+        assert registry.get("service_requests_total").to_value() == 1
+        assert registry.get("service_batches_total").to_value() >= 1
+        assert registry.get("service_latency_seconds").count == 1
+
+    def test_error_propagates_to_caller(self):
+        class Boom(RuntimeError):
+            pass
+
+        sharded = make_sharded()
+        registry = MetricsRegistry()
+
+        def explode(queries):
+            raise Boom("shard on fire")
+
+        sharded.query_batch = explode
+        with StripesService(sharded, ServiceConfig(workers=1),
+                            registry=registry) as service:
+            future = service.submit(EVERYTHING)
+            with pytest.raises(Boom):
+                future.result(timeout=5)
+        assert registry.get("service_errors_total").to_value() == 1

@@ -1,0 +1,188 @@
+"""Concurrency stress tests: concurrent writers + queriers against the
+sharded facade with a serial-replay parity check, and thread-safety
+hammers for the metrics registry and tracer.
+
+These are the gating tests of the CI ``service-stress`` job."""
+
+import random
+import threading
+
+from repro.core.stripes import StripesConfig, StripesIndex
+from repro.obs import MetricsRegistry, Tracer
+from repro.query.types import MovingObjectState, TimeSliceQuery, WindowQuery
+from repro.service import (
+    LoadDriver,
+    ServiceConfig,
+    ShardedStripes,
+    StripesService,
+)
+
+CONFIG = StripesConfig(vmax=(3.0, 3.0), pmax=(200.0, 200.0), lifetime=30.0)
+
+
+def random_state(rng, oid, t):
+    return MovingObjectState(
+        oid,
+        tuple(rng.uniform(0, p) for p in CONFIG.pmax),
+        tuple(rng.uniform(-v, v) for v in CONFIG.vmax),
+        t)
+
+
+def random_query(rng, now):
+    side = 50.0
+    x = rng.uniform(0, CONFIG.pmax[0] - side)
+    y = rng.uniform(0, CONFIG.pmax[1] - side)
+    lo, hi = (x, y), (x + side, y + side)
+    t1 = now + rng.uniform(0, 5)
+    if rng.random() < 0.5:
+        return TimeSliceQuery(lo, hi, t1)
+    return WindowQuery(lo, hi, t1, t1 + rng.uniform(0.1, 5))
+
+
+def test_concurrent_updates_and_queries_with_serial_replay_parity():
+    """Writers and queriers hammer the facade concurrently; afterwards a
+    serial StripesIndex replays the exact same committed operations and
+    every query must agree on the final state."""
+    rng = random.Random(21)
+    n_objects = 80
+    initial = [random_state(rng, oid, 0.0) for oid in range(n_objects)]
+    sharded = ShardedStripes(CONFIG, n_shards=4)
+    sharded.insert_batch(initial)
+
+    # Pre-generate per-writer update chains on disjoint oid ranges so the
+    # full committed history is known without cross-thread coordination.
+    n_writers = 3
+    per_writer = n_objects // n_writers
+    chains = []
+    for w in range(n_writers):
+        wrng = random.Random(100 + w)
+        chain = []
+        latest = {oid: initial[oid]
+                  for oid in range(w * per_writer, (w + 1) * per_writer)}
+        for _ in range(60):
+            oid = wrng.randrange(w * per_writer, (w + 1) * per_writer)
+            old = latest[oid]
+            new = random_state(wrng, oid, min(old.t + wrng.uniform(0.1, 0.5),
+                                              CONFIG.lifetime - 1.0))
+            latest[oid] = new
+            chain.append((old, new))
+        chains.append(chain)
+
+    errors = []
+    stop = threading.Event()
+
+    def writer(chain):
+        try:
+            for old, new in chain:
+                sharded.update(old, new)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+            errors.append(exc)
+
+    def querier(seed):
+        qrng = random.Random(seed)
+        try:
+            while not stop.is_set():
+                result = sharded.query(random_query(qrng, 1.0))
+                assert isinstance(result, list)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+            errors.append(exc)
+
+    writers = [threading.Thread(target=writer, args=(c,)) for c in chains]
+    queriers = [threading.Thread(target=querier, args=(s,))
+                for s in (31, 32, 33)]
+    for t in queriers + writers:
+        t.start()
+    for t in writers:
+        t.join(timeout=30)
+    stop.set()
+    for t in queriers:
+        t.join(timeout=30)
+    assert not errors, errors
+
+    serial = StripesIndex(CONFIG)
+    serial.insert_batch(initial)
+    for chain in chains:
+        for old, new in chain:
+            serial.update(old, new)
+    assert len(sharded) == len(serial)
+    prng = random.Random(22)
+    for _ in range(80):
+        query = random_query(prng, 1.0)
+        assert set(sharded.query(query)) == set(serial.query(query))
+
+
+def test_service_under_concurrent_load_matches_serial():
+    """The full service stack (queue, batching workers, futures) returns
+    exactly the serial index's answers under multi-threaded load."""
+    rng = random.Random(23)
+    initial = [random_state(rng, oid, 0.0) for oid in range(60)]
+    serial = StripesIndex(CONFIG)
+    serial.insert_batch(initial)
+    sharded = ShardedStripes(CONFIG, n_shards=4)
+    sharded.insert_batch(initial)
+    queries = [random_query(rng, 1.0) for _ in range(40)]
+    expected = [set(serial.query(q)) for q in queries]
+
+    config = ServiceConfig(workers=4, batch_max=8, batch_window_s=0.001,
+                           max_queue=1024)
+    with StripesService(sharded, config) as service:
+        report = LoadDriver(service, queries, n_threads=8,
+                            requests_per_thread=40).run()
+        assert report.errors == 0
+        assert report.completed == report.offered
+        # And answers, not just liveness: every query agrees with serial.
+        futures = [service.submit(q) for q in queries]
+        for future, want in zip(futures, expected):
+            assert set(future.result(timeout=10)) == want
+
+
+def test_metrics_registry_thread_safety_hammer():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total")
+    gauge = registry.gauge("hammer_gauge")
+    hist = registry.histogram("hammer_seconds", buckets=(0.1, 1.0, 10.0))
+    n_threads, n_iter = 8, 2000
+
+    def worker(seed):
+        wrng = random.Random(seed)
+        for _ in range(n_iter):
+            counter.inc()
+            gauge.inc(1.0)
+            hist.observe(wrng.random() * 5.0)
+
+    threads = [threading.Thread(target=worker, args=(s,))
+               for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert counter.to_value() == n_threads * n_iter
+    assert gauge.to_value() == n_threads * n_iter
+    assert hist.count == n_threads * n_iter
+    registry.expose_text()  # formatting under load must not raise
+
+
+def test_tracer_thread_local_spans_do_not_interleave():
+    tracer = Tracer()
+    errors = []
+
+    def worker(wid):
+        try:
+            for i in range(200):
+                with tracer.span(f"outer-{wid}") as outer:
+                    with tracer.span(f"inner-{wid}") as inner:
+                        tracer.event(f"tick-{wid}", i=i)
+                    assert inner.name == f"inner-{wid}"
+                    # The enclosing span must be this thread's, never
+                    # another thread's concurrently open span.
+                    assert outer.children[-1] is inner
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert len(tracer.roots) == 6 * 200
