@@ -8,6 +8,7 @@ Examples::
     stripes-bench all --scale 0.002    # everything, tiny and fast
     stripes-bench explain --query-type window --index tprstar
     stripes-bench serve --json BENCH_PR3.json
+    stripes-bench update --json BENCH_PR4.json
 
 The ``explain`` subcommand builds a small index, replays a prefix of the
 workload, then runs one query under full tracing and prints the descent
@@ -20,6 +21,13 @@ workload's queries, measures a serial-service baseline (1 shard, 1
 worker, no batching) and the sharded micro-batching service under
 closed-loop load, demonstrates explicit ``Overloaded`` rejection against
 a tiny admission queue, and optionally snapshots everything to JSON.
+
+The ``update`` subcommand reproduces the paper's update-cost experiment
+with the batched write path: it replays the same update stream per-point
+(the seed path, also the sequential-equivalence oracle), batched through
+``update_batch``, and per-point on the TPR/TPR* baselines, then gates on
+exact query-set parity between the batched and sequential STRIPES
+replicas.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from repro.bench.report import (
     render_latency_table,
     render_load,
     render_metrics_snapshot,
+    render_write_table,
 )
 from repro.bench.runner import make_stripes, make_tpr, make_tprstar
 
@@ -67,6 +76,8 @@ def _print_costs(title: str, results, disk, metrics: bool = False) -> None:
     if metrics:
         _print(render_cache_table(
             f"{title} -- decoded-node cache effectiveness", results))
+        _print(render_write_table(
+            f"{title} -- write-path effort", results))
         for name, result in results.items():
             if result.metrics:
                 _print(render_metrics_snapshot(
@@ -358,15 +369,184 @@ def run_serve(shards: int, workers: int, batch_max: int,
     return 0
 
 
+#: Buffer-pool pages for the update benchmark.
+UPDATE_POOL_PAGES = 1024
+
+
+def run_update(n_objects: int, n_operations: int, batch_size: int,
+               seed: int, json_path: Optional[str] = None) -> int:
+    """Reproduce the paper's update-cost experiment with the batched
+    write path against per-point baselines.
+
+    Four indexes replay the same update stream:
+
+    * **STRIPES serial** -- the seed per-point path (``insert`` /
+      ``update`` one object at a time);
+    * **STRIPES batched** -- ``insert_batch`` for the load and
+      ``update_batch`` in chunks of ``batch_size``;
+    * **TPR / TPR*** -- the paper's baselines, per-point (they have no
+      batch write path).
+
+    A parity gate then evaluates every workload query on the serial and
+    batched STRIPES indexes: the id sets must match exactly (the serial
+    replay *is* the sequential-equivalence oracle for the batched
+    writes).  Any mismatch fails the run.  Results -- including the
+    batched index's write-path metrics -- print as tables and optionally
+    land in ``json_path``.
+    """
+    import json
+    import time as _time
+
+    from repro.bench.runner import RunResult
+    from repro.obs import MetricsRegistry
+    from repro.workload.generator import WorkloadSpec, generate_workload
+    from repro.workload.operations import QueryOp, UpdateOp
+
+    spec = WorkloadSpec(n_objects=n_objects, n_operations=n_operations,
+                        update_fraction=0.8, seed=seed)
+    workload = generate_workload(spec)
+    updates = [op for op in workload.operations if isinstance(op, UpdateOp)]
+    queries = [op.query for op in workload.operations
+               if isinstance(op, QueryOp)]
+    if not updates or not queries:
+        print("workload produced no updates or no queries; raise "
+              "--update-ops", file=sys.stderr)
+        return 1
+    print(f"workload: {len(workload.initial)} objects, {len(updates)} "
+          f"updates, {len(queries)} queries (seed {seed})")
+
+    def timed(fn):
+        t0 = _time.perf_counter()
+        out = fn()
+        return out, _time.perf_counter() - t0
+
+    results = {}
+
+    def record(name, setup, load_s, update_s, removed):
+        results[name] = {
+            "load_s": round(load_s, 4),
+            "load_objects_per_s": round(len(workload.initial) / load_s, 1),
+            "update_s": round(update_s, 4),
+            "updates_per_s": round(len(updates) / update_s, 1),
+            "removed": removed,
+            "pages": setup.pages_in_use(),
+        }
+        print(f"{name:<16} load {load_s:7.3f}s   updates {update_s:7.3f}s   "
+              f"{len(updates) / update_s:>9,.0f} upd/s")
+
+    # --- STRIPES, seed per-point path (the sequential-replay oracle).
+    serial_setup = make_stripes(workload, UPDATE_POOL_PAGES,
+                                name="STRIPES serial")
+    serial = serial_setup.index
+
+    def load_serial():
+        for state in workload.initial:
+            serial.insert(state)
+
+    def replay_serial():
+        return sum(1 for op in updates if serial.update(op.old, op.new))
+
+    _, load_s = timed(load_serial)
+    removed, update_s = timed(replay_serial)
+    serial_ups = len(updates) / update_s
+    record("STRIPES serial", serial_setup, load_s, update_s, removed)
+
+    # --- STRIPES, batched write path, with write-path metrics attached.
+    registry = MetricsRegistry()
+    batched_setup = make_stripes(workload, UPDATE_POOL_PAGES,
+                                 name="STRIPES batched", registry=registry)
+    batched = batched_setup.index
+
+    def replay_batched():
+        n = 0
+        for i in range(0, len(updates), batch_size):
+            n += batched.update_batch(
+                [(op.old, op.new) for op in updates[i:i + batch_size]])
+        return n
+
+    _, load_s = timed(lambda: batched.insert_batch(workload.initial))
+    removed_b, update_s = timed(replay_batched)
+    batched_ups = len(updates) / update_s
+    record("STRIPES batched", batched_setup, load_s, update_s, removed_b)
+
+    # --- TPR / TPR* per-point baselines.
+    for maker, name in ((make_tpr, "TPR"), (make_tprstar, "TPR*")):
+        setup = maker(workload, UPDATE_POOL_PAGES, name=name)
+        idx = setup.index
+
+        def load_baseline(idx=idx):
+            for state in workload.initial:
+                idx.insert(state)
+
+        def replay_baseline(idx=idx):
+            return sum(1 for op in updates if idx.update(op.old, op.new))
+
+        _, load_s = timed(load_baseline)
+        removed_t, update_s = timed(replay_baseline)
+        record(name, setup, load_s, update_s, removed_t)
+
+    speedup = batched_ups / serial_ups
+    print(f"batched vs serial STRIPES: {speedup:.2f}x updates/s "
+          f"(batch size {batch_size}); removed {removed_b} vs {removed}")
+
+    # --- parity gate: batched writes must answer every query exactly
+    # like the sequential replay.
+    mismatches = sum(1 for q in queries
+                     if set(serial.query(q)) != set(batched.query(q)))
+    entries_match = len(serial) == len(batched)
+    print(f"parity: {len(queries) - mismatches}/{len(queries)} queries "
+          f"match sequential replay ({mismatches} mismatches); entry "
+          f"counts {'match' if entries_match else 'DIVERGE'} "
+          f"({len(batched)} vs {len(serial)})")
+
+    # --- the batched index's write-path effort, via its metrics.
+    fake = RunResult("STRIPES batched")
+    fake.phase_metrics["ops"] = registry.to_dict()
+    _print(render_write_table("write-path effort (batched index)",
+                              {"STRIPES batched": fake}))
+    _print(render_metrics_snapshot("insert latency (batched index):",
+                                   registry.to_dict(),
+                                   prefix="stripes_insert"))
+
+    if json_path:
+        snapshot = {
+            "workload": {"n_objects": n_objects,
+                         "n_operations": n_operations,
+                         "updates": len(updates),
+                         "queries": len(queries), "seed": seed},
+            "batch_size": batch_size,
+            "indexes": results,
+            "speedup_batched_vs_serial": round(speedup, 3),
+            "parity": {"queries": len(queries), "mismatches": mismatches,
+                       "entry_counts_match": entries_match},
+            "metrics": registry.to_dict(),
+        }
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_path}")
+
+    if mismatches or not entries_match:
+        print("PARITY FAILURE: batched writes diverge from sequential "
+              "replay", file=sys.stderr)
+        return 1
+    if speedup < 2.0:
+        print(f"WARNING: batched speedup {speedup:.2f}x is below the 2x "
+              f"target", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="stripes-bench",
         description="Regenerate the STRIPES paper's evaluation figures.")
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ("all", "explain", "serve"),
+                        choices=EXPERIMENTS + ("all", "explain", "serve",
+                                               "update"),
                         help="which figure/table to regenerate, 'explain' "
-                             "to trace one query descent, or 'serve' to "
-                             "benchmark the concurrent query service")
+                             "to trace one query descent, 'serve' to "
+                             "benchmark the concurrent query service, or "
+                             "'update' to benchmark the batched write path")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="fraction of the paper's experiment size "
                              "(default 0.01; 1.0 = paper scale)")
@@ -412,7 +592,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                              default="hash",
                              help="shard policy (default hash)")
     serve_group.add_argument("--json", metavar="PATH", default=None,
-                             help="write the serve results to PATH as JSON")
+                             help="write the serve/update results to PATH "
+                                  "as JSON")
+    update_group = parser.add_argument_group("update options")
+    update_group.add_argument("--update-objects", type=int, default=4000,
+                              help="workload objects for the update "
+                                   "benchmark (default 4000)")
+    update_group.add_argument("--update-ops", type=int, default=3000,
+                              help="workload operations for the update "
+                                   "benchmark (default 3000)")
+    update_group.add_argument("--batch-size", type=int, default=512,
+                              help="updates per update_batch call "
+                                   "(default 512)")
     args = parser.parse_args(argv)
     if args.experiment == "explain":
         return run_explain(args.index, args.query_type, args.n_objects,
@@ -423,6 +614,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          args.requests_per_thread, args.service_objects,
                          args.service_ops, args.policy, args.seed,
                          json_path=args.json)
+    if args.experiment == "update":
+        return run_update(args.update_objects, args.update_ops,
+                          args.batch_size, args.seed, json_path=args.json)
     scale = ExperimentScale(scale=args.scale, seed=args.seed)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -185,6 +185,52 @@ def render_cache_table(title: str, results: Dict[str, RunResult]) -> str:
     return format_table(CACHE_HEADERS, rows, title)
 
 
+WRITE_HEADERS = ["index", "inserts", "splits", "promotions", "spills",
+                 "ins p50 ms", "ins p95 ms", "ins p99 ms"]
+
+_WRITE_COUNTER_SUFFIXES = (("inserts", "_inserts_total"),
+                           ("splits", "_leaf_splits_total"),
+                           ("promotions", "_leaf_promotions_total"),
+                           ("spills", "_overflow_spills_total"))
+
+
+def render_write_table(title: str, results: Dict[str, RunResult]) -> str:
+    """Write-path effort per index: insert/split/promotion/spill counters
+    plus per-insert latency percentiles.
+
+    Reads the ``*_inserts_total``-family counters and the
+    ``*_insert_latency_seconds`` histogram out of each result's final
+    metrics snapshot (rows show ``-`` for indexes run without a registry
+    or without those instruments, e.g. the TPR trees and the scan
+    baseline).
+    """
+    rows = []
+    for name, result in results.items():
+        snapshot = result.metrics or {}
+        counters = snapshot.get("counters", {})
+        cells: List[object] = [name]
+        found = False
+        for _, suffix in _WRITE_COUNTER_SUFFIXES:
+            value = None
+            for key, count in counters.items():
+                if key.endswith(suffix):
+                    value = (value or 0) + count
+                    found = True
+            cells.append("-" if value is None else value)
+        hist = None
+        for key, h in snapshot.get("histograms", {}).items():
+            if key.endswith("_insert_latency_seconds"):
+                hist = h
+                found = True
+                break
+        if hist is not None and hist.get("count"):
+            cells += [f"{hist[q] * 1e3:.4f}" for q in ("p50", "p95", "p99")]
+        else:
+            cells += ["-", "-", "-"]
+        rows.append(cells if found else [name] + ["-"] * 7)
+    return format_table(WRITE_HEADERS, rows, title)
+
+
 def render_load(title: str, results: Dict[str, RunResult],
                 disk: DiskModel) -> str:
     """Initial bulk-load cost and resulting index size."""

@@ -22,7 +22,7 @@ bit-identical coordinates and therefore descend identical quadtree paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple, Tuple
+from typing import List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,36 @@ class DualPoint(NamedTuple):
     @property
     def d(self) -> int:
         return len(self.v)
+
+
+class DualBatch(NamedTuple):
+    """A batch of transformed entries in columnar form.
+
+    ``vs``/``ps`` are ``(n, d)`` float64 arrays holding exactly the values
+    the scalar :meth:`DualSpace.to_dual` path would compute (float32 mode
+    rounds before widening, and float32-to-float64 widening is exact), so
+    the write path can classify quads with numpy kernels and still store
+    bit-identical coordinates.
+    """
+
+    oids: np.ndarray           # (n,)  int64
+    vs: np.ndarray             # (n, d) float64
+    ps: np.ndarray             # (n, d) float64
+
+    def __len__(self) -> int:
+        return self.oids.shape[0]
+
+    def points(self) -> List[DualPoint]:
+        """Materialize the batch as ``DualPoint``s for leaf storage.
+
+        ``ndarray.tolist()`` converts float64 lanes to Python floats
+        exactly, so the tuples equal what ``to_dual`` returns per object.
+        """
+        oids = self.oids.tolist()
+        vs = self.vs.tolist()
+        ps = self.ps.tolist()
+        return [DualPoint(oid, tuple(v), tuple(p))
+                for oid, v, p in zip(oids, vs, ps)]
 
 
 @dataclass(frozen=True)
@@ -133,6 +163,48 @@ class DualSpace:
             v_dual = [float(np.float32(x)) for x in v_dual]
             p_dual = [float(np.float32(x)) for x in p_dual]
         return DualPoint(obj.oid, tuple(v_dual), tuple(p_dual))
+
+    def to_dual_batch(self, objs: Sequence[MovingObjectState]) -> DualBatch:
+        """Transform many states at once; columnar twin of :meth:`to_dual`.
+
+        The arithmetic mirrors the scalar path operation for operation —
+        ``(pos - vel * dt) + vmax * L`` in float64, with float32 mode
+        rounding through ``astype(float32)`` (the same IEEE round-to-nearest
+        as ``np.float32(x)``) before exact widening back to float64 — so
+        every lane is bit-identical to ``to_dual`` of the same object.
+
+        Validation applies the same tolerances as the scalar path; on any
+        violation the *first* offending object (in input order) is re-run
+        through ``to_dual`` so the raised ``ValueError`` is identical.
+        """
+        n = len(objs)
+        d = self.d
+        if n == 0:
+            empty = np.empty((0, d), dtype=np.float64)
+            return DualBatch(np.empty(0, dtype=np.int64), empty, empty.copy())
+        for obj in objs:
+            if obj.d != d:
+                raise ValueError(f"object is {obj.d}-d, space is {d}-d")
+        oids = np.fromiter((o.oid for o in objs), dtype=np.int64, count=n)
+        ts = np.fromiter((o.t for o in objs), dtype=np.float64, count=n)
+        vels = np.array([o.vel for o in objs], dtype=np.float64)
+        poss = np.array([o.pos for o in objs], dtype=np.float64)
+        vmax = np.array(self.vmax, dtype=np.float64)
+        pmax = np.array(self.pmax, dtype=np.float64)
+        dts = ts - self.t_ref
+        bad = ~((dts >= -1e-9) & (dts <= self.lifetime + 1e-9))
+        bad |= (np.abs(vels) > vmax + 1e-9).any(axis=1)
+        bad |= ~((poss >= -1e-6) & (poss <= pmax + 1e-6)).all(axis=1)
+        if bad.any():
+            self.to_dual(objs[int(np.argmax(bad))])
+            raise AssertionError("scalar validation accepted a state the "
+                                 "batch validation rejected")
+        vs = vels + vmax
+        ps = poss - vels * dts[:, None] + vmax * self.lifetime
+        if self.float32:
+            vs = vs.astype(np.float32).astype(np.float64)
+            ps = ps.astype(np.float32).astype(np.float64)
+        return DualBatch(oids, vs, ps)
 
     def from_dual(self, point: DualPoint, t: float) -> MovingObjectState:
         """Reconstruct the (predicted) object state at time ``t`` from its

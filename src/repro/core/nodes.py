@@ -32,6 +32,10 @@ from repro.core.dual import DualPoint
 
 INVALID_RID = -1
 
+_PACK_BATCH_MIN = 8
+"""Entry count above which leaf serialization packs the whole array with
+one pre-compiled ``struct`` call instead of a per-entry pack + join."""
+
 _TAG_NONLEAF = 0
 _TAG_LEAF = 1
 _TAG_EXTENSION = 2
@@ -174,6 +178,11 @@ class NodeCodec:
         # Extension header: tag, count, overflow rid.
         self._ext_header = struct.Struct("<BHq")
         self._entry = struct.Struct(f"<q{2 * d}{coord}")
+        # Batched entry packing: one pre-compiled Struct covering n entries
+        # replaces n pack calls + a join.  Keyed by n, which is bounded by
+        # the leaf/extension capacities, so the memo stays small.
+        self._entry_fmt = f"q{2 * d}{coord}"
+        self._entry_batch: dict[int, struct.Struct] = {}
 
     # ------------------------------------------------------------------ #
     # Sizes and capacities
@@ -254,8 +263,25 @@ class NodeCodec:
                            child_is_leaf, size)
 
     def _pack_entries(self, entries: List[DualPoint]) -> bytes:
-        return b"".join(
-            self._entry.pack(e.oid, *e.v, *e.p) for e in entries)
+        n = len(entries)
+        if n < _PACK_BATCH_MIN:
+            return b"".join(
+                self._entry.pack(e.oid, *e.v, *e.p) for e in entries)
+        st = self._entry_batch.get(n)
+        if st is None:
+            st = struct.Struct("<" + self._entry_fmt * n)
+            self._entry_batch[n] = st
+        flat: List = []
+        append = flat.append
+        extend = flat.extend
+        for e in entries:
+            append(e.oid)
+            extend(e.v)
+            extend(e.p)
+        # One pack call emits the identical bytes the per-entry join
+        # would: same little-endian layout, same double->float conversion
+        # per coordinate in the float32 layout.
+        return st.pack(*flat)
 
     def _unpack_entries(self, raw: bytes, offset: int,
                         count: int) -> List[DualPoint]:

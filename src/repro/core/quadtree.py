@@ -51,6 +51,11 @@ from repro.storage.node_store import (
     RecordStore,
 )
 
+_WRITE_GROUP_MIN = 4
+"""Batch size below which the grouped write descent falls back to the
+scalar per-point path: numpy classification of a 2-3 point group costs
+more than three scalar descents."""
+
 
 class _DeferredSegments:
     """Descent-ordered result accumulator for the vectorized search.
@@ -443,15 +448,300 @@ class DualQuadTree:
 
     def bulk_load(self, points: List[DualPoint]) -> None:
         """Replace the tree's contents with ``points``, built bottom-up in
-        one recursive pass (used by :meth:`StripesIndex.bulk_load`)."""
+        one recursive pass (used by :meth:`StripesIndex.bulk_load`).
+
+        Ownership note: when ``points`` is already a list the tree takes
+        it over without copying (it may become a leaf's entry list); pass
+        a copy if the caller keeps mutating it.
+        """
         if self.count:
             raise RuntimeError("bulk_load requires an empty tree")
+        if not isinstance(points, list):
+            points = list(points)
         if not points:
             return
-        self._free_subtree(self._root_rid, self._root_is_leaf)
+        if self._root_is_leaf:
+            # An empty tree's root is one empty leaf record; free it
+            # directly rather than walking a subtree that cannot exist.
+            self.cache.free(self._root_rid)
+        else:
+            self._free_subtree(self._root_rid, self._root_is_leaf)
         self._root_rid, self._root_is_leaf = self._build_subtree(
-            0, self._origin(), self._origin(), list(points))
+            0, self._origin(), self._origin(), points)
         self.count = len(points)
+
+    # ------------------------------------------------------------------ #
+    # Batched writes (grouped descent)
+    # ------------------------------------------------------------------ #
+
+    def insert_batch(self, points: List[DualPoint],
+                     vs: Optional[np.ndarray] = None,
+                     ps: Optional[np.ndarray] = None) -> None:
+        """Insert many dual points with one grouped descent.
+
+        Instead of one root-to-leaf pass per point, every non-leaf node on
+        any insertion path is visited once: the whole group's child quads
+        are classified with one vectorized Eq. 1 evaluation, the group is
+        partitioned by child, and each destination leaf applies its
+        admission / promotion / split / overflow rewrite once per group
+        (overfull groups fall back to the bottom-up
+        :meth:`_build_subtree` pass splits already use).  Non-leaf size
+        updates are coalesced into one :meth:`NodeCache.update_many`
+        batch at the end, pinning each touched page once.
+
+        The resulting tree is *query-equivalent* to inserting the points
+        one by one (same entries, same leaf membership); split/promotion
+        event counts may differ because a group crosses a capacity
+        boundary in one step.  ``vs``/``ps`` are optional pre-built
+        ``(n, d)`` float64 coordinate columns (from
+        :meth:`repro.core.dual.DualSpace.to_dual_batch`); they are derived
+        from ``points`` when absent.  In scalar mode
+        (``vectorized=False``) this is exactly the sequential loop.
+        """
+        n = len(points)
+        if n == 0:
+            return
+        if not self._vectorized or n < _WRITE_GROUP_MIN:
+            for point in points:
+                self.insert(point)
+            return
+        if vs is None or ps is None:
+            vs = np.array([e.v for e in points], dtype=np.float64)
+            ps = np.array([e.p for e in points], dtype=np.float64)
+        self.counters.inserts += n
+        self.count += n
+        pending: Dict[int, NonLeafNode] = {}
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            self._root_rid, self._root_is_leaf = self._leaf_insert_group(
+                self._root_rid, leaf, points)
+        else:
+            self._insert_group(self._root_rid, points, vs, ps, pending)
+        if pending:
+            self.cache.update_many(pending.items())
+
+    def _classify_group(self, node: NonLeafNode, vs: np.ndarray,
+                        ps: np.ndarray):
+        """Vectorized Eq. 1 over a group: yields ``(child_idx, rows)``
+        pairs where ``rows`` selects the group's points landing in that
+        child quad.  Comparisons are the same float64 ``>=`` tests as
+        :meth:`_child_index`, so every point lands exactly where the
+        scalar descent would put it."""
+        sl_v, sl_p = self._child_sides(node.level + 1)
+        codes = np.zeros(vs.shape[0], dtype=np.int64)
+        for i in range(self.d):
+            v_hi = vs[:, i] >= node.v_corner[i] + sl_v[i]
+            p_hi = ps[:, i] >= node.p_corner[i] + sl_p[i]
+            codes |= ((p_hi.astype(np.int64) << 1)
+                      | v_hi.astype(np.int64)) << (2 * i)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        uniq, starts = np.unique(sorted_codes, return_index=True)
+        bounds = list(starts) + [codes.shape[0]]
+        for k, child_idx in enumerate(uniq.tolist()):
+            yield child_idx, order[bounds[k]: bounds[k + 1]]
+
+    def _insert_group(self, rid: int, points: List[DualPoint],
+                      vs: np.ndarray, ps: np.ndarray,
+                      pending: Dict[int, NonLeafNode]) -> None:
+        """Insert a group into the non-leaf subtree at ``rid`` (non-leaf
+        record ids never change, so nothing is returned)."""
+        node = self.cache.get(rid)
+        node.size += len(points)
+        for child_idx, rows in self._classify_group(node, vs, ps):
+            gpoints = [points[j] for j in rows.tolist()]
+            child_rid = node.children[child_idx]
+            if child_rid == INVALID_RID:
+                cv, cp = self._child_corner(node, child_idx)
+                crid, cleaf = self._build_subtree(
+                    node.level + 1, cv, cp, gpoints)
+                node.children[child_idx] = crid
+                node.child_is_leaf[child_idx] = cleaf
+            elif node.child_is_leaf[child_idx]:
+                crid, cleaf = self._leaf_insert_group(
+                    child_rid, self.cache.get(child_rid), gpoints)
+                node.children[child_idx] = crid
+                node.child_is_leaf[child_idx] = cleaf
+            else:
+                self._insert_group(child_rid, gpoints,
+                                   vs[rows], ps[rows], pending)
+        pending[rid] = node
+
+    def _leaf_insert_group(self, rid: int, leaf: LeafNode,
+                           gpoints: List[DualPoint]) -> Tuple[int, bool]:
+        """Group twin of :meth:`_leaf_insert`: admit, promote, spill, or
+        split *once* for the whole group."""
+        ladder_idx = self._ladder_index[self.store.record_size_of(rid)]
+        if (leaf.overflow == INVALID_RID
+                and len(leaf.entries) + len(gpoints)
+                <= self.leaf_capacities[ladder_idx]):
+            leaf.entries.extend(gpoints)
+            self.cache.update(rid, leaf)
+            return rid, True
+        entries = self._leaf_all_entries(leaf)
+        entries.extend(gpoints)
+        if ladder_idx + 1 < len(self.leaf_ladder):
+            for next_idx in range(ladder_idx + 1, len(self.leaf_ladder)):
+                if len(entries) <= self.leaf_capacities[next_idx]:
+                    promoted = self._new_leaf(leaf.level, leaf.v_corner,
+                                              leaf.p_corner, entries)
+                    new_rid = self.cache.insert(
+                        self.leaf_ladder[next_idx], promoted)
+                    self.cache.free(rid)
+                    self.counters.leaf_promotions += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "quadtree.leaf_promotion", level=leaf.level,
+                            to_bytes=self.leaf_ladder[next_idx])
+                    return new_rid, True
+        if leaf.level >= self.config.max_depth:
+            if self.store.record_size_of(rid) != self.large_bytes:
+                # A group can overshoot every ladder rung at once; the
+                # chain head must live in a top-rung record (the scalar
+                # path reaches chains only via top-rung leaves).
+                fresh = self._new_leaf(leaf.level, leaf.v_corner,
+                                       leaf.p_corner, [])
+                fresh.overflow = leaf.overflow
+                new_rid = self.cache.insert(self.large_bytes, fresh)
+                self.cache.free(rid)
+                self.counters.leaf_promotions += 1
+                rid, leaf = new_rid, fresh
+            self._write_leaf_chain(rid, leaf, entries)
+            self.counters.overflow_spills += 1
+            if self.tracer is not None:
+                self.tracer.event("quadtree.overflow_spill",
+                                  level=leaf.level, entries=len(entries))
+            return rid, True
+        new_rid, is_leaf = self._build_subtree(
+            leaf.level, leaf.v_corner, leaf.p_corner, entries)
+        self._free_leaf_chain(rid, leaf)
+        self.counters.leaf_splits += 1
+        if self.tracer is not None:
+            self.tracer.event("quadtree.leaf_split", level=leaf.level,
+                              entries=len(entries))
+        return new_rid, is_leaf
+
+    def delete_batch(self, points: List[DualPoint],
+                     vs: Optional[np.ndarray] = None,
+                     ps: Optional[np.ndarray] = None) -> List[bool]:
+        """Remove many entries with one grouped descent.
+
+        Returns one removed-flag per input point, in input order (the
+        batched twin of :meth:`delete`'s boolean).  Each touched leaf
+        rewrites its entry list / overflow chain once for all its group's
+        removals, and each non-leaf on the way down is re-sized and
+        rewritten once.  Under-filled nodes collapse *after* their whole
+        group is applied (bottom-up), so collapse timing differs from
+        sequential replay, but the surviving entries -- and therefore
+        every query answer -- are identical.
+        """
+        n = len(points)
+        flags = [False] * n
+        if n == 0:
+            return flags
+        if not self._vectorized or n < _WRITE_GROUP_MIN:
+            return [self.delete(point) for point in points]
+        self.counters.deletes += n
+        if vs is None or ps is None:
+            vs = np.array([e.v for e in points], dtype=np.float64)
+            ps = np.array([e.p for e in points], dtype=np.float64)
+        if self._root_is_leaf:
+            leaf = self.cache.get(self._root_rid)
+            self._leaf_delete_group(self._root_rid, leaf, points,
+                                    range(n), flags)
+            return flags
+        new_rid, new_is_leaf, _ = self._delete_group(
+            self._root_rid, points, list(range(n)), vs, ps, flags)
+        self._root_rid = new_rid
+        self._root_is_leaf = new_is_leaf
+        return flags
+
+    def _delete_group(self, rid: int, points: List[DualPoint],
+                      idxs: List[int], vs: np.ndarray, ps: np.ndarray,
+                      flags: List[bool]) -> Tuple[int, bool, int]:
+        """Delete a group from the non-leaf subtree at ``rid``; returns
+        ``(new_rid, new_is_leaf, removed)`` for the parent pointer."""
+        node = self.cache.get(rid)
+        removed = 0
+        for child_idx, rows in self._classify_group(node, vs, ps):
+            child_rid = node.children[child_idx]
+            if child_rid == INVALID_RID:
+                continue
+            rows_list = rows.tolist()
+            gpoints = [points[j] for j in rows_list]
+            gidxs = [idxs[j] for j in rows_list]
+            if node.child_is_leaf[child_idx]:
+                removed += self._leaf_delete_group(
+                    child_rid, self.cache.get(child_rid), gpoints, gidxs,
+                    flags)
+            else:
+                crid, cleaf, r = self._delete_group(
+                    child_rid, gpoints, gidxs, vs[rows], ps[rows], flags)
+                node.children[child_idx] = crid
+                node.child_is_leaf[child_idx] = cleaf
+                removed += r
+        if not removed:
+            return rid, False, 0
+        node.size -= removed
+        self.cache.update(rid, node)
+        if node.size <= self.collapse_capacity:
+            entries = self._subtree_entries(rid, is_leaf=False)
+            self._free_subtree(rid, is_leaf=False)
+            self.counters.collapses += 1
+            if self.tracer is not None:
+                self.tracer.event("quadtree.collapse", level=node.level,
+                                  entries=len(entries))
+            return (*self._build_subtree(node.level, node.v_corner,
+                                         node.p_corner, entries), removed)
+        return rid, False, removed
+
+    def _leaf_delete_group(self, rid: int, leaf: LeafNode,
+                           gpoints: List[DualPoint], gidxs,
+                           flags: List[bool]) -> int:
+        """Remove every matching group point from one leaf, rewriting the
+        entry list / overflow chain once."""
+        entries = self._leaf_all_entries(leaf)
+        removed = 0
+        for j, point in zip(gidxs, gpoints):
+            pos = self._find_entry(entries, point)
+            if pos is not None:
+                entries.pop(pos)
+                flags[j] = True
+                removed += 1
+        if not removed:
+            return 0
+        if leaf.overflow != INVALID_RID:
+            self._write_leaf_chain(rid, leaf, entries)
+        else:
+            leaf.entries = entries
+            self.cache.update(rid, leaf)
+        self.count -= removed
+        return removed
+
+    def update_batch(self, pairs) -> int:
+        """Apply many ``(old, new)`` dual-point updates; ``old`` may be
+        ``None`` (plain insert).  Returns how many olds were removed.
+
+        Deletes run before inserts, which matches sequential
+        delete-then-insert replay only while each oid appears in at most
+        one pair; batches with repeated oids fall back to the sequential
+        path to preserve per-pair ordering.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return 0
+        oids = [new.oid for _, new in pairs]
+        if len(set(oids)) != len(oids):
+            removed = 0
+            for old, new in pairs:
+                if old is not None and self.delete(old):
+                    removed += 1
+                self.insert(new)
+            return removed
+        olds = [old for old, _ in pairs if old is not None]
+        flags = self.delete_batch(olds)
+        self.insert_batch([new for _, new in pairs])
+        return sum(flags)
 
     # ------------------------------------------------------------------ #
     # Overflow chains (maximum-depth leaves only)

@@ -29,6 +29,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,8 +71,65 @@ class StripesConfig:
         return len(self.vmax)
 
 
+def _net_update_runs(pairs, window_of, d):
+    """Cut ``(old, new)`` update pairs into conflict-free runs, netting
+    exact update chains.
+
+    A pair whose ``old`` *is* an earlier pair's ``new`` (same object id,
+    field-equal state) supersedes that pair in place: sequential replay
+    would insert the intermediate entry and immediately delete it again,
+    so the net pair ``(first old, last new)`` leaves identical index
+    state.  Any *other* re-touch of a seen object id ends the run, so
+    batched delete-then-insert application of each run matches
+    sequential :meth:`StripesIndex.update` replay for timestamp-ordered
+    batches.
+
+    Yields ``(run, credit)`` tuples: ``run`` lists netted
+    ``(old, new, delete_window)`` triples (each object id at most once,
+    arrival order), where ``delete_window`` is the lifetime window of
+    the chain's *first* new state -- the arrival at which sequential
+    replay performs the ``old`` delete, so the batched delete must run
+    under that window's rotation state, not the final insert's.
+    ``credit`` counts the netted intermediate deletes sequential replay
+    would have scored: an intermediate delete succeeds exactly when the
+    entry's window is still live on the next update's arrival, i.e. the
+    chain advanced by at most one lifetime window.
+    """
+    chains: Dict[int, List] = {}   # new.oid -> [first old, latest new, dw]
+    touched: set = set()           # every oid the current run references
+    credit = 0
+    for old, new in pairs:
+        if new.d != d:
+            raise ValueError(
+                f"object is {new.d}-d but the index is {d}-d")
+        if old is not None and old.oid == new.oid:
+            chain = chains.get(new.oid)
+            if chain is not None and chain[1] == old:
+                if window_of(new.t) - window_of(old.t) <= 1:
+                    credit += 1
+                chain[1] = new
+                continue
+        keys = {new.oid} if old is None else {new.oid, old.oid}
+        if keys & touched:
+            yield [tuple(c) for c in chains.values()], credit
+            chains = {}
+            touched = set()
+            credit = 0
+        chains[new.oid] = [old, new, window_of(new.t)]
+        touched |= keys
+    if chains or credit:
+        yield [tuple(c) for c in chains.values()], credit
+
+
 class StripesIndex:
     """Scalable Trajectory Index for Predicted Positions (Section 4)."""
+
+    # Write-latency histograms, wired by attach_metrics.  Class-level
+    # ``None`` defaults keep the write hot path at one attribute load +
+    # None test when metrics are not attached, and keep instances built
+    # without __init__ (the persistence loader) well-formed.
+    _insert_hist = None
+    _insert_batch_hist = None
 
     def __init__(self, config: StripesConfig,
                  pool: Optional[BufferPool] = None):
@@ -98,6 +156,10 @@ class StripesIndex:
         self._retired_counters = QuadTreeCounters()
         self._retired_cache_hits = 0
         self._retired_cache_misses = 0
+        # Write-latency histograms, wired by attach_metrics; None keeps
+        # the write hot path free of any metrics cost.
+        self._insert_hist = None
+        self._insert_batch_hist = None
 
     # ------------------------------------------------------------------ #
     # Window management (Section 4.1)
@@ -185,22 +247,34 @@ class StripesIndex:
     # Updates (Sections 4.3-4.5)
     # ------------------------------------------------------------------ #
 
+    #: Window groups below this size take the scalar per-point path: the
+    #: batch transform + grouped descent only pay off once a few points
+    #: share the descent.
+    _WRITE_BATCH_MIN = 4
+
     def insert(self, obj: MovingObjectState) -> None:
         """Insert a new predicted trajectory."""
         if obj.d != self.config.d:
             raise ValueError(
                 f"object is {obj.d}-d but the index is {self.config.d}-d")
+        hist = self._insert_hist
+        start = perf_counter() if hist is not None else 0.0
         tree = self._tree_for_window(self._window(obj.t), create=True)
         tree.insert(tree.space.to_dual(obj))
+        if hist is not None:
+            hist.observe(perf_counter() - start)
 
     def insert_batch(self, objs: Sequence[MovingObjectState]) -> int:
         """Insert many trajectories; returns the number inserted.
 
-        Equivalent to ``for obj in objs: self.insert(obj)`` but hoists the
-        per-call window lookup: states are grouped by lifetime window and
-        each group is fed to its sub-index with the transform and insert
-        methods bound once.  Windows are processed in ascending order so
-        rotation happens exactly as it would under sequential inserts.
+        Query-equivalent to ``for obj in objs: self.insert(obj)``: states
+        are grouped by lifetime window (ascending, so rotation happens
+        exactly as under sequential inserts) and each group is
+        batch-transformed (:meth:`DualSpace.to_dual_batch`) and fed to its
+        sub-index's grouped descent (:meth:`DualQuadTree.insert_batch`),
+        which visits every touched node once per batch instead of once
+        per point.  Groups below :attr:`_WRITE_BATCH_MIN`, and scalar
+        mode (``vectorized=False``), take the per-point reference path.
         """
         d = self.config.d
         by_window: Dict[int, List[MovingObjectState]] = {}
@@ -209,14 +283,24 @@ class StripesIndex:
                 raise ValueError(
                     f"object is {obj.d}-d but the index is {d}-d")
             by_window.setdefault(self._window(obj.t), []).append(obj)
+        hist = self._insert_batch_hist
+        start = perf_counter() if hist is not None else 0.0
+        vectorized = self.config.quadtree.vectorized
         inserted = 0
         for window in sorted(by_window):
             tree = self._tree_for_window(window, create=True)
-            to_dual = tree.space.to_dual
-            insert = tree.insert
-            for obj in by_window[window]:
-                insert(to_dual(obj))
-            inserted += len(by_window[window])
+            group = by_window[window]
+            if vectorized and len(group) >= self._WRITE_BATCH_MIN:
+                batch = tree.space.to_dual_batch(group)
+                tree.insert_batch(batch.points(), batch.vs, batch.ps)
+            else:
+                to_dual = tree.space.to_dual
+                insert = tree.insert
+                for obj in group:
+                    insert(to_dual(obj))
+            inserted += len(group)
+        if hist is not None and inserted:
+            hist.observe(perf_counter() - start)
         return inserted
 
     def delete(self, obj: MovingObjectState) -> bool:
@@ -228,6 +312,38 @@ class StripesIndex:
             return False
         return tree.delete(tree.space.to_dual(obj))
 
+    def delete_batch(self, objs: Sequence[MovingObjectState]) -> List[bool]:
+        """Remove many entries; returns one removed-flag per input, in
+        input order (the batched twin of :meth:`delete`).
+
+        Objects are grouped by lifetime window; live windows run the
+        grouped descent (:meth:`DualQuadTree.delete_batch`), expired
+        windows flag ``False`` without touching storage -- exactly the
+        sequential outcome.
+        """
+        objs = list(objs)
+        flags = [False] * len(objs)
+        by_window: Dict[int, List[int]] = {}
+        for j, obj in enumerate(objs):
+            by_window.setdefault(self._window(obj.t), []).append(j)
+        vectorized = self.config.quadtree.vectorized
+        for window in sorted(by_window):
+            tree = self._tree_for_window(window, create=False)
+            if tree is None:
+                continue
+            idxs = by_window[window]
+            group = [objs[j] for j in idxs]
+            if vectorized and len(group) >= self._WRITE_BATCH_MIN:
+                batch = tree.space.to_dual_batch(group)
+                gflags = tree.delete_batch(batch.points(),
+                                           batch.vs, batch.ps)
+            else:
+                to_dual = tree.space.to_dual
+                gflags = [tree.delete(to_dual(obj)) for obj in group]
+            for j, flag in zip(idxs, gflags):
+                flags[j] = flag
+        return flags
+
     def update(self, old: Optional[MovingObjectState],
                new: MovingObjectState) -> bool:
         """Delete ``old`` (if supplied and not expired) and insert ``new``.
@@ -238,13 +354,85 @@ class StripesIndex:
         the update (Section 4.1: "when an update with timestamp > 2L
         arrives, we can simply delete the entries in the first index"), so
         the stale window is retired before the old entry is looked up.
+
+        When ``old`` and ``new`` fall in the same lifetime window -- the
+        overwhelmingly common case -- the sub-index is resolved once and
+        reused for both halves.  When the windows differ, rotation still
+        happens first (:meth:`rotate_to`), but the new window's tree is
+        only materialised *after* the delete, so a failed delete never
+        leaves behind a tree created out of order.
         """
         if new.d != self.config.d:
             raise ValueError(
                 f"object is {new.d}-d but the index is {self.config.d}-d")
-        tree = self._tree_for_window(self._window(new.t), create=True)
+        new_window = self._window(new.t)
+        if old is not None and self._window(old.t) == new_window:
+            tree = self._tree_for_window(new_window, create=True)
+            removed = tree.delete(tree.space.to_dual(old))
+            tree.insert(tree.space.to_dual(new))
+            return removed
+        self.rotate_to(new_window)
         removed = self.delete(old) if old is not None else False
+        tree = self._tree_for_window(new_window, create=True)
         tree.insert(tree.space.to_dual(new))
+        return removed
+
+    def update_batch(self, pairs: Sequence[Tuple[
+            Optional[MovingObjectState], MovingObjectState]]) -> int:
+        """Apply many ``(old, new)`` updates; ``old`` may be ``None``
+        (plain insert).  Returns how many old entries were removed.
+
+        The batch is cut into *conflict-free runs* with exact update
+        chains netted in place (see :func:`_net_update_runs`): a pair
+        whose ``old`` is an earlier pair's ``new`` supersedes it, while
+        any other re-touch of a seen object id ends the run.  Each run
+        has every object id at most once, so scheduling each delete under
+        its sequential-replay window rotation (a netted chain's first
+        new), each insert under its own window, and walking the windows
+        in ascending order is query-equivalent to -- and returns the
+        same removed count as -- sequential :meth:`update` replay for
+        timestamp-ordered batches.
+        """
+        removed = 0
+        for run, credit in _net_update_runs(pairs, self._window,
+                                            self.config.d):
+            removed += self._apply_update_run(run) + credit
+        return removed
+
+    def _apply_update_run(self, run: List[Tuple[
+            Optional[MovingObjectState], MovingObjectState, int]]) -> int:
+        """Apply one conflict-free run of ``(old, new, delete_window)``
+        triples (each object id at most once), window-grouped; returns
+        entries removed."""
+        if len(run) < self._WRITE_BATCH_MIN:
+            removed = 0
+            for old, new, dw in run:
+                if old is not None and dw != self._window(new.t):
+                    # A netted chain spanning windows: sequential replay
+                    # deletes the first old under the chain's *first*
+                    # window rotation, before later links rotate it out.
+                    self.rotate_to(dw)
+                    if self.delete(old):
+                        removed += 1
+                    old = None
+                if self.update(old, new):
+                    removed += 1
+            return removed
+        deletes: Dict[int, List] = {}
+        inserts: Dict[int, List] = {}
+        for old, new, dw in run:
+            if old is not None:
+                deletes.setdefault(dw, []).append(old)
+            inserts.setdefault(self._window(new.t), []).append(new)
+        removed = 0
+        for window in sorted(set(deletes) | set(inserts)):
+            self.rotate_to(window)
+            olds = deletes.get(window)
+            if olds:
+                removed += sum(self.delete_batch(olds))
+            news = inserts.get(window)
+            if news:
+                self.insert_batch(news)
         return removed
 
     # ------------------------------------------------------------------ #
@@ -491,9 +679,12 @@ class StripesIndex:
         (``{prefix}_store_*``), aggregated per-sub-index operation
         counters (inserts, deletes, searches, splits, promotions,
         collapses, spills -- retired windows stay counted), node-cache
-        hit/miss counters, and index-level gauges (live entries, live
-        windows).  All pull-based: nothing on the update/query hot paths
-        touches the registry.
+        hit/miss counters, index-level gauges (live entries, live
+        windows), and write-latency histograms
+        (``{prefix}_insert_latency_seconds`` per insert,
+        ``{prefix}_insert_batch_latency_seconds`` per batch call).  All
+        pull-based except the latency histograms, which record one
+        ``observe`` per (batch) insert only while attached.
         """
         self.pool.attach_metrics(registry, prefix=f"{prefix}_pool")
         self.store.attach_metrics(registry, prefix=f"{prefix}_store")
@@ -518,6 +709,15 @@ class StripesIndex:
                                  help="live (non-expired) entries")
         windows = registry.gauge(f"{prefix}_live_windows",
                                  help="live lifetime windows (at most 2)")
+        # Write-path latency: per-insert and per-insert_batch-call wall
+        # time.  Stored on the index so the hot paths pay one attribute
+        # load + None test when metrics are not attached.
+        self._insert_hist = registry.histogram(
+            f"{prefix}_insert_latency_seconds",
+            help="per-insert wall time")
+        self._insert_batch_hist = registry.histogram(
+            f"{prefix}_insert_batch_latency_seconds",
+            help="wall time of each insert_batch call")
 
         def collect() -> None:
             agg = QuadTreeCounters()

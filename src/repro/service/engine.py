@@ -241,6 +241,23 @@ class ShardMirror:
         mirror.dirty = True
         self.epoch += 1
 
+    def note_insert_batch(self, window: int,
+                          duals: Sequence[DualPoint]) -> None:
+        """Mirror a whole window group of inserts with one dirty-flag /
+        epoch bump (the batched twin of :meth:`note_insert`)."""
+        if not duals:
+            return
+        mirror = self._windows.get(window)
+        if mirror is None:
+            mirror = self._windows[window] = _WindowMirror(
+                self.space_for(window))
+        entries = mirror.entries
+        for dual in duals:
+            entries.setdefault(dual.oid, []).append((dual.v, dual.p))
+        mirror.size += len(duals)
+        mirror.dirty = True
+        self.epoch += 1
+
     def note_delete(self, window: int, dual: DualPoint) -> None:
         """Remove the mirrored entry for a delete the index accepted.
 
@@ -262,6 +279,32 @@ class ShardMirror:
         mirror.size -= 1
         mirror.dirty = True
         self.epoch += 1
+
+    def note_delete_batch(self, window: int,
+                          duals: Sequence[DualPoint]) -> None:
+        """Mirror a whole window group of accepted deletes with one
+        dirty-flag / epoch bump; per-dual matching is identical to
+        :meth:`note_delete`."""
+        mirror = self._windows.get(window)
+        if mirror is None:
+            return
+        entries = mirror.entries
+        removed = 0
+        for dual in duals:
+            pairs = entries.get(dual.oid)
+            if not pairs:
+                continue
+            try:
+                pairs.remove((dual.v, dual.p))
+            except ValueError:
+                pairs.pop()
+            if not pairs:
+                del entries[dual.oid]
+            removed += 1
+        if removed:
+            mirror.size -= removed
+            mirror.dirty = True
+            self.epoch += 1
 
     def sync_windows(self, live_windows: Sequence[int]) -> None:
         """Drop mirrors of windows the index has retired."""

@@ -46,7 +46,7 @@ import time
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence
 
-from repro.core.stripes import StripesConfig, StripesIndex
+from repro.core.stripes import StripesConfig, StripesIndex, _net_update_runs
 from repro.query.types import MovingObjectState, PredictiveQuery
 from repro.service.engine import CompiledBatch, ShardMirror, evaluate_batch
 from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
@@ -282,10 +282,143 @@ class ShardedStripes:
             self._insert_locked(shard, obj)
 
     def insert_batch(self, objs: Sequence[MovingObjectState]) -> int:
-        """Insert many trajectories; returns the number inserted."""
+        """Insert many trajectories; returns the number inserted.
+
+        Batched twin of per-object :meth:`insert`: the global window
+        advance is applied once for the batch's newest timestamp, objects
+        are grouped by shard, and each shard applies its whole group under
+        a single exclusive-lock acquisition through
+        :meth:`StripesIndex.insert_batch`, with the columnar mirror
+        updated one window group at a time.  Query-equivalent to the
+        sequential loop for timestamp-ordered batches.
+        """
+        objs = list(objs)
+        if not objs:
+            return 0
+        self._advance_windows(max(obj.t for obj in objs))
+        by_shard: Dict[int, List[MovingObjectState]] = {}
         for obj in objs:
-            self.insert(obj)
+            by_shard.setdefault(
+                self.policy.shard_of(obj, self.n_shards), []).append(obj)
+        for sid, group in by_shard.items():
+            shard = self._shards[sid]
+            with shard.lock.write():
+                self._insert_batch_locked(shard, group)
         return len(objs)
+
+    def _insert_batch_locked(self, shard: _Shard,
+                             group: List[MovingObjectState]) -> None:
+        index = shard.index
+        index.insert_batch(group)
+        lifetime = self.config.lifetime
+        by_window: Dict[int, List[MovingObjectState]] = {}
+        for obj in group:
+            by_window.setdefault(int(obj.t // lifetime), []).append(obj)
+        mirror = shard.mirror
+        for window in sorted(by_window):
+            mirror.note_insert_batch(
+                window,
+                mirror.space_for(window)
+                .to_dual_batch(by_window[window]).points())
+        # Drops mirror windows the group itself rotated out (a batch can
+        # span the retiring edge).
+        mirror.sync_windows(index.live_windows)
+
+    def _delete_batch_locked(self, shard: _Shard,
+                             group: List[MovingObjectState]) -> int:
+        flags = shard.index.delete_batch(group)
+        lifetime = self.config.lifetime
+        by_window: Dict[int, List[MovingObjectState]] = {}
+        for obj, ok in zip(group, flags):
+            if ok:
+                by_window.setdefault(int(obj.t // lifetime), []).append(obj)
+        mirror = shard.mirror
+        for window, removed in by_window.items():
+            mirror.note_delete_batch(
+                window,
+                mirror.space_for(window).to_dual_batch(removed).points())
+        return sum(flags)
+
+    def delete_batch(self, objs: Sequence[MovingObjectState]) -> int:
+        """Remove many entries; returns how many were actually removed.
+        Objects are grouped by shard and each shard's group runs under
+        one exclusive-lock acquisition."""
+        objs = list(objs)
+        if not objs:
+            return 0
+        by_shard: Dict[int, List[MovingObjectState]] = {}
+        for obj in objs:
+            by_shard.setdefault(
+                self.policy.shard_of(obj, self.n_shards), []).append(obj)
+        removed = 0
+        for sid, group in by_shard.items():
+            shard = self._shards[sid]
+            with shard.lock.write():
+                removed += self._delete_batch_locked(shard, group)
+        return removed
+
+    def update_batch(self, pairs: Sequence[Tuple[
+            Optional[MovingObjectState], MovingObjectState]]) -> int:
+        """Apply many ``(old, new)`` updates; returns removals observed.
+
+        The batch is cut into *conflict-free runs* with exact update
+        chains netted in place
+        (:func:`repro.core.stripes._net_update_runs`) and each run is
+        applied in order: window advance once for the run's newest
+        timestamp, then every shard's deletes (batched, under that
+        shard's lock), then every shard's inserts -- the cross-shard
+        generalisation of delete-before-insert.  For timestamp-ordered
+        batches the surviving entries (and therefore every query answer)
+        match sequential :meth:`update` replay; the removed *count* can
+        undercount pairs whose old entry sat in a window the batch
+        itself rotated out.
+        """
+        lifetime = self.config.lifetime
+        removed = 0
+        for run, credit in _net_update_runs(
+                pairs, lambda t: int(t // lifetime), len(self.config.vmax)):
+            removed += self._apply_update_run(run) + credit
+        return removed
+
+    #: Runs below this size take the per-pair path (mirrors
+    #: ``StripesIndex._WRITE_BATCH_MIN``).
+    _UPDATE_RUN_MIN = 4
+
+    def _apply_update_run(self, pairs: List[Tuple[
+            Optional[MovingObjectState], MovingObjectState, int]]) -> int:
+        """Apply one conflict-free run of ``(old, new, delete_window)``
+        triples (each object id at most once); returns removals
+        observed.  The delete window is ignored here: the facade
+        advances every shard to the run's newest timestamp up front (one
+        lock round per shard), which is where the documented
+        removed-count undercount comes from."""
+        if not pairs:
+            return 0
+        if len(pairs) < self._UPDATE_RUN_MIN:
+            removed = 0
+            for old, new, _ in pairs:
+                if self.update(old, new):
+                    removed += 1
+            return removed
+        self._advance_windows(max(new.t for _, new, _ in pairs))
+        deletes: Dict[int, List[MovingObjectState]] = {}
+        inserts: Dict[int, List[MovingObjectState]] = {}
+        for old, new, _ in pairs:
+            if old is not None:
+                deletes.setdefault(
+                    self.policy.shard_of(old, self.n_shards), []).append(old)
+            inserts.setdefault(
+                self.policy.shard_of(new, self.n_shards), []).append(new)
+        removed = 0
+        for sid, group in deletes.items():
+            shard = self._shards[sid]
+            with shard.lock.write():
+                removed += self._delete_batch_locked(shard, group)
+        for sid, group in inserts.items():
+            shard = self._shards[sid]
+            with shard.lock.write():
+                self._insert_batch_locked(shard, group)
+        return removed
 
     def delete(self, obj: MovingObjectState) -> bool:
         """Remove the entry previously inserted for ``obj``; False when

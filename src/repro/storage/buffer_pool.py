@@ -209,8 +209,18 @@ class BufferPool:
             page.dirty = False
 
     def flush_all(self) -> None:
-        """Write back every dirty resident page."""
-        for page_id in list(self._frames):
+        """Write back every dirty resident page, in ascending page-id
+        order.
+
+        Page ids order the backing file, so an id-ordered write-back is a
+        (mostly) sequential pass over the file rather than the arbitrary
+        LRU order the frame table happens to be in -- exactly the access
+        pattern :class:`repro.storage.stats.DiskModel` rewards through
+        ``sequential_fraction``.  The physical-write count is unchanged;
+        only the order differs.
+        """
+        for page_id in sorted(page_id for page_id, page
+                              in self._frames.items() if page.dirty):
             self.flush_page(page_id)
 
     def clear(self) -> None:
