@@ -536,17 +536,56 @@ def run_update(n_objects: int, n_operations: int, batch_size: int,
     return 0
 
 
+def run_crashmatrix(seed: int, survival: str, write_stride: int,
+                    failpoint_stride: int,
+                    json_path: Optional[str] = None) -> int:
+    """Run the crash matrix (``repro.bench.crashmatrix``): kill the
+    index at every sampled page write, torn write, and failpoint of a
+    mixed insert/update/checkpoint workload, reopen from the durable
+    image, and gate on structural invariants plus exact query parity
+    with a never-crashed linear-scan replica.  Non-zero exit on any
+    scenario failure."""
+    import json
+
+    from repro.bench.crashmatrix import run_crash_matrix
+
+    survivals = ("none", "all", "mix") if survival == "every" \
+        else (survival,)
+    reports = []
+    failed = 0
+    for policy in survivals:
+        report = run_crash_matrix(
+            seed=seed, survival=policy, write_stride=write_stride,
+            failpoint_stride=failpoint_stride,
+            log=lambda line: print(f"  {line}", file=sys.stderr))
+        reports.append(report)
+        for line in report.summary_lines():
+            print(line)
+        failed += report.failed
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"wrote {json_path}")
+    if failed:
+        print(f"CRASH MATRIX FAILURE: {failed} scenario(s) recovered to "
+              f"a corrupt or divergent index", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="stripes-bench",
         description="Regenerate the STRIPES paper's evaluation figures.")
     parser.add_argument("experiment",
                         choices=EXPERIMENTS + ("all", "explain", "serve",
-                                               "update"),
+                                               "update", "crashmatrix"),
                         help="which figure/table to regenerate, 'explain' "
                              "to trace one query descent, 'serve' to "
-                             "benchmark the concurrent query service, or "
-                             "'update' to benchmark the batched write path")
+                             "benchmark the concurrent query service, "
+                             "'update' to benchmark the batched write "
+                             "path, or 'crashmatrix' to fault-inject "
+                             "every checkpoint/recovery path")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="fraction of the paper's experiment size "
                              "(default 0.01; 1.0 = paper scale)")
@@ -604,6 +643,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     update_group.add_argument("--batch-size", type=int, default=512,
                               help="updates per update_batch call "
                                    "(default 512)")
+    crash_group = parser.add_argument_group("crashmatrix options")
+    crash_group.add_argument("--survival", default="every",
+                             choices=("none", "all", "mix", "every"),
+                             help="fate of unsynced writes at crash time "
+                                  "(default 'every': run all three "
+                                  "policies)")
+    crash_group.add_argument("--write-stride", type=int, default=5,
+                             help="crash at every Nth page write "
+                                  "(default 5; 1 = every write)")
+    crash_group.add_argument("--failpoint-stride", type=int, default=1,
+                             help="thin the per-failpoint occurrence axis "
+                                  "(default 1 = every occurrence)")
     args = parser.parse_args(argv)
     if args.experiment == "explain":
         return run_explain(args.index, args.query_type, args.n_objects,
@@ -617,6 +668,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "update":
         return run_update(args.update_objects, args.update_ops,
                           args.batch_size, args.seed, json_path=args.json)
+    if args.experiment == "crashmatrix":
+        return run_crashmatrix(args.seed, args.survival, args.write_stride,
+                               args.failpoint_stride, json_path=args.json)
     scale = ExperimentScale(scale=args.scale, seed=args.seed)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -1584,3 +1584,208 @@ class DualQuadTree:
         for idx in node.present_children():
             self._collect_stats(node.children[idx], node.child_is_leaf[idx],
                                 depth + 1, stats)
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (crash-recovery verification)
+    # ------------------------------------------------------------------ #
+
+    def check(self, rids_out: Optional[set] = None) -> List[str]:
+        """Walk the whole tree and verify its structural invariants;
+        returns a list of human-readable violations (empty when sound).
+
+        Verified per node: the record decodes to the node kind its
+        parent advertises, levels increase by one along every path,
+        each child's quad corner equals :meth:`_child_corner` of its
+        parent's stored corner (the exact computation insert uses),
+        every entry lies inside its leaf's quad, non-leaf ``size``
+        fields equal their subtree's true entry count, overflow chains
+        hang only off top-rung leaves at maximum depth, and no record
+        is reachable twice.  The root total must equal ``self.count``.
+        ``rids_out``, when given, receives every reachable record id so
+        the index-level checker can compare against the record store's
+        occupancy bitmap.
+        """
+        problems: List[str] = []
+        if self._root_rid == INVALID_RID:
+            if self.count != 0:
+                problems.append(
+                    f"destroyed tree still reports count={self.count}")
+            return problems
+        seen: set = set()
+        total = self._check_node(self._root_rid, self._root_is_leaf, 0,
+                                 self._origin(), self._origin(),
+                                 seen, problems)
+        if total != self.count:
+            problems.append(
+                f"tree.count is {self.count} but the walk found {total} "
+                f"entries")
+        if rids_out is not None:
+            rids_out.update(seen)
+        return problems
+
+    def _corner_mismatch(self, stored: Tuple[float, ...],
+                         expected: Tuple[float, ...],
+                         sides: Tuple[float, ...]) -> bool:
+        """True when a stored corner disagrees with its recomputed value.
+
+        float64 trees compare exactly: corner arithmetic is pure float64
+        and the codec round-trips doubles losslessly.  float32 trees
+        compare within a tiny side-relative tolerance, because corners
+        round to float32 at serialization and a reopened tree mixes
+        rounded and unrounded parents in the recomputation; a *wrong*
+        corner is off by at least a quarter side, orders of magnitude
+        beyond the tolerance.
+        """
+        if not self.space.float32:
+            return tuple(stored) != tuple(expected)
+        return any(abs(s - e) > max(abs(side), 1.0) * 2.0 ** -12
+                   for s, e, side in zip(stored, expected, sides))
+
+    def _check_entry_in_quad(self, entry: DualPoint, leaf_level: int,
+                             v_corner: Tuple[float, ...],
+                             p_corner: Tuple[float, ...]) -> bool:
+        """Weak containment: ``corner <= coord <= corner + side`` per
+        axis (the closed upper bound tolerates boundary points and
+        float32 corner rounding; a misplaced entry lands a whole quad
+        away)."""
+        sl_v, sl_p = self._child_sides(leaf_level)
+        slack = 2.0 ** -12 if self.space.float32 else 0.0
+        for i in range(self.d):
+            pad_v = slack * max(abs(sl_v[i]), 1.0)
+            pad_p = slack * max(abs(sl_p[i]), 1.0)
+            if not (v_corner[i] - pad_v <= entry.v[i]
+                    <= v_corner[i] + sl_v[i] + pad_v):
+                return False
+            if not (p_corner[i] - pad_p <= entry.p[i]
+                    <= p_corner[i] + sl_p[i] + pad_p):
+                return False
+        return True
+
+    def _check_node(self, rid: int, is_leaf: bool, level: int,
+                    exp_v: Tuple[float, ...], exp_p: Tuple[float, ...],
+                    seen: set, problems: List[str]) -> int:
+        if rid in seen:
+            problems.append(f"record {rid} is reachable twice")
+            return 0
+        seen.add(rid)
+        try:
+            node = self.cache.get(rid)
+        except Exception as exc:
+            problems.append(f"record {rid} is unreadable: {exc!r}")
+            return 0
+        expected_kind = LeafNode if is_leaf else NonLeafNode
+        if not isinstance(node, expected_kind):
+            problems.append(
+                f"record {rid} decodes to {type(node).__name__} but its "
+                f"parent says {expected_kind.__name__}")
+            return 0
+        if node.level != level:
+            problems.append(
+                f"record {rid} stores level {node.level}, expected {level}")
+        sides = self._child_sides(level)
+        if self._corner_mismatch(node.v_corner, exp_v, sides[0]) or \
+                self._corner_mismatch(node.p_corner, exp_p, sides[1]):
+            problems.append(
+                f"record {rid} quad corner "
+                f"({node.v_corner}, {node.p_corner}) disagrees with its "
+                f"parent-derived corner ({exp_v}, {exp_p})")
+        if is_leaf:
+            return self._check_leaf(rid, node, level, seen, problems)
+        return self._check_nonleaf(rid, node, level, seen, problems)
+
+    def _check_leaf(self, rid: int, leaf: LeafNode, level: int,
+                    seen: set, problems: List[str]) -> int:
+        try:
+            record_size = self.store.record_size_of(rid)
+        except KeyError:
+            record_size = None
+        if record_size not in self._ladder_index:
+            problems.append(
+                f"leaf {rid} lives in record size {record_size}, not on "
+                f"the leaf ladder {self.leaf_ladder}")
+        else:
+            capacity = self.leaf_capacities[self._ladder_index[record_size]]
+            if len(leaf.entries) > capacity:
+                problems.append(
+                    f"leaf {rid} holds {len(leaf.entries)} entries, over "
+                    f"its capacity of {capacity}")
+        total = len(leaf.entries)
+        entries = list(leaf.entries)
+        if leaf.overflow != INVALID_RID:
+            if record_size != self.large_bytes:
+                problems.append(
+                    f"leaf {rid} has an overflow chain but is not a "
+                    f"top-rung ({self.large_bytes}-byte) leaf")
+            if level < self.config.max_depth:
+                problems.append(
+                    f"leaf {rid} at level {level} has an overflow chain "
+                    f"(only max-depth leaves may spill)")
+            ext_rid = leaf.overflow
+            while ext_rid != INVALID_RID:
+                if ext_rid in seen:
+                    problems.append(
+                        f"extension record {ext_rid} is reachable twice "
+                        f"(overflow cycle or shared chain)")
+                    break
+                seen.add(ext_rid)
+                try:
+                    ext = self.cache.get(ext_rid)
+                except Exception as exc:
+                    problems.append(
+                        f"extension record {ext_rid} is unreadable: "
+                        f"{exc!r}")
+                    break
+                if not isinstance(ext, LeafExtension):
+                    problems.append(
+                        f"record {ext_rid} on leaf {rid}'s overflow chain "
+                        f"decodes to {type(ext).__name__}")
+                    break
+                if len(ext.entries) > self.ext_capacity:
+                    problems.append(
+                        f"extension {ext_rid} holds {len(ext.entries)} "
+                        f"entries, over its capacity of "
+                        f"{self.ext_capacity}")
+                total += len(ext.entries)
+                entries.extend(ext.entries)
+                ext_rid = ext.overflow
+        misplaced = sum(
+            not self._check_entry_in_quad(entry, level, leaf.v_corner,
+                                          leaf.p_corner)
+            for entry in entries)
+        if misplaced:
+            problems.append(
+                f"leaf {rid} holds {misplaced} entries outside its quad")
+        return total
+
+    def _check_nonleaf(self, rid: int, node: NonLeafNode, level: int,
+                       seen: set, problems: List[str]) -> int:
+        if level >= self.config.max_depth:
+            problems.append(
+                f"non-leaf {rid} sits at level {level}, at or below the "
+                f"maximum depth {self.config.max_depth}")
+            return 0
+        try:
+            record_size = self.store.record_size_of(rid)
+        except KeyError:
+            record_size = None
+        if record_size != self.codec.nonleaf_record_size:
+            problems.append(
+                f"non-leaf {rid} lives in record size {record_size}, "
+                f"expected {self.codec.nonleaf_record_size}")
+        if len(node.children) != self.fanout or \
+                len(node.child_is_leaf) != self.fanout:
+            problems.append(
+                f"non-leaf {rid} has {len(node.children)} child slots, "
+                f"expected {self.fanout}")
+            return 0
+        total = 0
+        for idx in node.present_children():
+            child_v, child_p = self._child_corner(node, idx)
+            total += self._check_node(node.children[idx],
+                                      node.child_is_leaf[idx], level + 1,
+                                      child_v, child_p, seen, problems)
+        if node.size != total:
+            problems.append(
+                f"non-leaf {rid} stores size {node.size} but its subtree "
+                f"holds {total} entries")
+        return total

@@ -160,6 +160,11 @@ class StripesIndex:
         # the write hot path free of any metrics cost.
         self._insert_hist = None
         self._insert_batch_hist = None
+        #: Number of the last committed checkpoint; 0 before the first
+        #: :func:`repro.core.persistence.save_index`.  The sidecar and
+        #: the redo journal both carry it, which is how recovery decides
+        #: whether a leftover journal belongs to the sidecar on disk.
+        self.checkpoint_id = 0
 
     # ------------------------------------------------------------------ #
     # Window management (Section 4.1)
@@ -755,6 +760,47 @@ class StripesIndex:
     def flush(self) -> None:
         """Write every dirty page back to the page file."""
         self.pool.flush_all()
+
+    def check(self) -> List[str]:
+        """Verify every structural invariant of the whole index; returns
+        a list of human-readable violations (empty when sound).
+
+        Runs :meth:`repro.core.quadtree.DualQuadTree.check` on each live
+        sub-index and :meth:`repro.storage.node_store.RecordStore.check`
+        on the shared record store, then cross-checks them: the record
+        ids reachable from the tree roots must be *exactly* the ids the
+        store's occupancy bitmaps report (anything occupied but
+        unreachable is a leaked record; anything reachable but free is a
+        dangling pointer), and no record may be claimed by two windows.
+        The crash-recovery harness runs this on every reopened index.
+        """
+        problems: List[str] = []
+        reachable: set = set()
+        for window in sorted(self._trees):
+            tree = self._trees[window]
+            tree_rids: set = set()
+            for problem in tree.check(rids_out=tree_rids):
+                problems.append(f"window {window}: {problem}")
+            overlap = reachable & tree_rids
+            if overlap:
+                problems.append(
+                    f"window {window} shares {len(overlap)} record ids "
+                    f"with an older window (e.g. {min(overlap)})")
+            reachable |= tree_rids
+        for problem in self.store.check():
+            problems.append(f"record store: {problem}")
+        occupied = set(self.store.occupied_rids())
+        leaked = occupied - reachable
+        dangling = reachable - occupied
+        if leaked:
+            problems.append(
+                f"{len(leaked)} records occupied but unreachable from any "
+                f"window root (e.g. rid {min(leaked)})")
+        if dangling:
+            problems.append(
+                f"{len(dangling)} reachable record ids are not occupied "
+                f"in the store (e.g. rid {min(dangling)})")
+        return problems
 
     def __repr__(self) -> str:
         return (f"StripesIndex(d={self.config.d}, entries={len(self)}, "

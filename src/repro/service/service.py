@@ -38,7 +38,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.query.types import MovingObjectState, PredictiveQuery
-from repro.service.sharding import ShardedStripes
+from repro.service.sharding import ShardedStripes, ShardTransientError
+from repro.storage.faults import TransientIOError
 
 __all__ = ["ServiceConfig", "StripesService", "Overloaded",
            "RequestTimeout", "ServiceClosed"]
@@ -76,6 +77,13 @@ class ServiceConfig:
     batch_window_s: float = 0.0005
     #: Default per-request deadline; ``None`` means no deadline.
     default_timeout_s: Optional[float] = None
+    #: Transient-IO retries per operation before giving up (queries shed
+    #: the failing shard after exhaustion; writes re-raise).
+    io_max_retries: int = 4
+    #: Initial retry backoff, doubling per attempt ...
+    io_backoff_s: float = 0.001
+    #: ... up to this cap.
+    io_backoff_cap_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -86,6 +94,10 @@ class ServiceConfig:
             raise ValueError("batch_max must be positive")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        if self.io_max_retries < 0:
+            raise ValueError("io_max_retries must be non-negative")
+        if self.io_backoff_s < 0 or self.io_backoff_cap_s < 0:
+            raise ValueError("retry backoffs must be non-negative")
 
 
 class _Request:
@@ -178,6 +190,7 @@ class StripesService:
         # service pays nothing.
         self._m_requests = self._m_rejected = self._m_timeouts = None
         self._m_batches = self._m_errors = None
+        self._m_io_retries = self._m_shed = None
         self._h_batch_size = self._h_latency = None
         if registry is not None:
             self.attach_metrics(registry)
@@ -305,7 +318,7 @@ class StripesService:
         with self._inflight_lock:
             self._inflight += len(live)
         try:
-            results = self.sharded.query_batch([r.query for r in live])
+            results = self._query_with_retries([r.query for r in live])
         except Exception as exc:  # noqa: BLE001 - forwarded to callers
             if self._m_errors is not None:
                 self._m_errors.inc(len(live))
@@ -325,24 +338,84 @@ class StripesService:
             request.future.set_result(result)
 
     # ---------------------------------------------------------------- #
+    # Transient-IO resilience
+    # ---------------------------------------------------------------- #
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep the capped-exponential delay for retry ``attempt``
+        (1-based)."""
+        delay = min(self.config.io_backoff_s * (2 ** (attempt - 1)),
+                    self.config.io_backoff_cap_s)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _query_with_retries(self, queries: List[PredictiveQuery]) \
+            -> List[List[int]]:
+        """Evaluate a batch, retrying transient shard IO errors with
+        capped exponential backoff; a shard that keeps failing is *shed*
+        (``ShardedStripes.mark_degraded``) and the batch re-runs without
+        it, returning the healthy shards' partial answer rather than
+        failing every caller.  Terminates: each exhausted retry budget
+        removes one shard from the fan-out, and shards are finite.
+        """
+        cfg = self.config
+        attempts = 0
+        while True:
+            try:
+                return self.sharded.query_batch(queries)
+            except ShardTransientError as exc:
+                attempts += 1
+                if attempts > cfg.io_max_retries:
+                    self.sharded.mark_degraded(exc.sid)
+                    if self._m_shed is not None:
+                        self._m_shed.inc()
+                    attempts = 0  # fresh budget for any other shard
+                    continue
+                if self._m_io_retries is not None:
+                    self._m_io_retries.inc()
+                self._backoff(attempts)
+
+    def _io_retry(self, op, *args):
+        """Run a write, retrying transient IO errors with backoff.
+
+        A :class:`TransientIOError` means the failed page write was not
+        applied, but the surrounding index operation may already have
+        applied *earlier* pages -- retrying re-runs the whole operation,
+        so writes are at-least-once under transient faults (see
+        docs/DURABILITY.md for the idempotence discussion).  After the
+        budget is exhausted the error propagates to the caller.
+        """
+        attempt = 0
+        while True:
+            try:
+                return op(*args)
+            except TransientIOError:
+                attempt += 1
+                if attempt > self.config.io_max_retries:
+                    raise
+                if self._m_io_retries is not None:
+                    self._m_io_retries.inc()
+                self._backoff(attempt)
+
+    # ---------------------------------------------------------------- #
     # Writes (inline, per-shard locking inside the facade)
     # ---------------------------------------------------------------- #
 
     def insert(self, obj: MovingObjectState) -> None:
         if self._closing.is_set():
             raise ServiceClosed("service is not accepting writes")
-        self.sharded.insert(obj)
+        self._io_retry(self.sharded.insert, obj)
 
     def delete(self, obj: MovingObjectState) -> bool:
         if self._closing.is_set():
             raise ServiceClosed("service is not accepting writes")
-        return self.sharded.delete(obj)
+        return self._io_retry(self.sharded.delete, obj)
 
     def update(self, old: Optional[MovingObjectState],
                new: MovingObjectState) -> bool:
         if self._closing.is_set():
             raise ServiceClosed("service is not accepting writes")
-        return self.sharded.update(old, new)
+        return self._io_retry(self.sharded.update, old, new)
 
     # ---------------------------------------------------------------- #
     # Observability
@@ -364,6 +437,12 @@ class StripesService:
             f"{prefix}_batches_total", help="micro-batches evaluated")
         self._m_errors = registry.counter(
             f"{prefix}_errors_total", help="queries failed with an error")
+        self._m_io_retries = registry.counter(
+            f"{prefix}_io_retries_total",
+            help="operations retried after a transient IO error")
+        self._m_shed = registry.counter(
+            f"{prefix}_shards_shed_total",
+            help="shards degraded out of the query fan-out")
         self._h_batch_size = registry.histogram(
             f"{prefix}_batch_size", buckets=BATCH_SIZE_BUCKETS,
             help="queries coalesced per evaluated batch")
@@ -376,12 +455,16 @@ class StripesService:
             f"{prefix}_inflight", help="requests being evaluated right now")
         workers = registry.gauge(
             f"{prefix}_workers", help="worker thread count")
+        shard_degraded = registry.gauge(
+            f"{prefix}_shard_degraded",
+            help="shards currently shed from the query fan-out")
 
         def collect() -> None:
             queue_depth.set(len(self._queue))
             with self._inflight_lock:
                 inflight.set(self._inflight)
             workers.set(len(self._workers))
+            shard_degraded.set(len(self.sharded.degraded_shards()))
 
         registry.register_collector(collect)
         self.sharded.attach_metrics(registry, prefix=f"{prefix}_sharded")

@@ -44,16 +44,31 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.core.stripes import StripesConfig, StripesIndex, _net_update_runs
 from repro.query.types import MovingObjectState, PredictiveQuery
 from repro.service.engine import CompiledBatch, ShardMirror, evaluate_batch
 from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
-from repro.storage.pagefile import InMemoryPageFile
+from repro.storage.faults import TransientIOError
+from repro.storage.pagefile import InMemoryPageFile, PageFile
 
 __all__ = ["ShardPolicy", "HashShardPolicy", "VelocityBandShardPolicy",
-           "RWLock", "ShardedStripes"]
+           "RWLock", "ShardedStripes", "ShardTransientError"]
+
+
+class ShardTransientError(RuntimeError):
+    """A shard's storage raised a retryable IO error mid-query.
+
+    Carries the shard id so the service layer can retry -- and, when
+    retries run out, shed -- exactly the failing shard while every other
+    shard keeps serving.
+    """
+
+    def __init__(self, sid: int, cause: TransientIOError):
+        super().__init__(f"shard {sid}: {cause}")
+        self.sid = sid
+        self.cause = cause
 
 #: Fibonacci-hash multiplier (Knuth): spreads consecutive oids uniformly.
 _HASH_MULTIPLIER = 2654435761
@@ -181,7 +196,9 @@ class ShardedStripes:
                  policy: Optional[ShardPolicy] = None,
                  pool_pages: int = DEFAULT_POOL_PAGES,
                  scan_threshold: int = DEFAULT_SCAN_THRESHOLD,
-                 refine: bool = True):
+                 refine: bool = True,
+                 pagefile_factory: Optional[
+                     Callable[[int], PageFile]] = None):
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.config = config
@@ -189,13 +206,20 @@ class ShardedStripes:
         self.policy = policy if policy is not None else HashShardPolicy()
         self.scan_threshold = scan_threshold
         self.refine = refine
+        if pagefile_factory is None:
+            pagefile_factory = lambda sid: InMemoryPageFile()  # noqa: E731
         per_shard_pages = max(16, pool_pages // n_shards)
         self._shards = [
             _Shard(sid, StripesIndex(
                 config,
-                BufferPool(InMemoryPageFile(), capacity=per_shard_pages)))
+                BufferPool(pagefile_factory(sid),
+                           capacity=per_shard_pages)))
             for sid in range(n_shards)
         ]
+        # Shards shed after persistent storage failures: skipped by
+        # queries until restore_shard() brings them back.
+        self._degraded: set = set()
+        self._degraded_lock = threading.Lock()
         # Newest lifetime window any shard has seen; advancing it rotates
         # *every* shard so a write-quiet shard still expires its entries
         # exactly when a serial single index would.
@@ -224,6 +248,31 @@ class ShardedStripes:
     def pages_in_use(self) -> int:
         """Pages holding records across all shards."""
         return sum(s.index.pages_in_use() for s in self._shards)
+
+    # ---------------------------------------------------------------- #
+    # Degraded-shard bookkeeping
+    # ---------------------------------------------------------------- #
+
+    def degraded_shards(self) -> frozenset:
+        """Shard ids currently shed from query fan-out."""
+        with self._degraded_lock:
+            return frozenset(self._degraded)
+
+    def mark_degraded(self, sid: int) -> None:
+        """Shed shard ``sid``: queries skip it (returning the partial
+        answer from the healthy shards) until :meth:`restore_shard`.
+        The shard's index is left untouched -- writes may still target
+        it, and restoring loses nothing."""
+        if not 0 <= sid < self.n_shards:
+            raise ValueError(f"shard id {sid} out of range")
+        with self._degraded_lock:
+            self._degraded.add(sid)
+
+    def restore_shard(self, sid: int) -> None:
+        """Bring a shed shard back into the query fan-out (no-op when it
+        was not degraded)."""
+        with self._degraded_lock:
+            self._degraded.discard(sid)
 
     def __repr__(self) -> str:
         return (f"ShardedStripes(n_shards={self.n_shards}, "
@@ -482,20 +531,29 @@ class ShardedStripes:
         # temporaries stay cache-resident, which measures faster than
         # fewer-but-wider kernel calls on this workload.
         flat_cols: List[tuple] = []
+        degraded = self.degraded_shards()
         for shard in self._shards:
+            if shard.sid in degraded:
+                continue
             if use_clock:
                 t0 = time.perf_counter()
-            with shard.lock.read():
-                if shard.mirror.total_entries <= self.scan_threshold:
-                    flat_cols.extend(shard.mirror.window_columns())
-                else:
-                    # Tree descents mutate pool/cache state: they stay
-                    # under the read lock plus the tree mutex.
-                    with shard.tree_mutex:
-                        shard_results = shard.index.query_batch(
-                            queries, refine=self.refine)
-                    for out, part in zip(results, shard_results):
-                        out.extend(part)
+            try:
+                with shard.lock.read():
+                    if shard.mirror.total_entries <= self.scan_threshold:
+                        flat_cols.extend(shard.mirror.window_columns())
+                    else:
+                        # Tree descents mutate pool/cache state: they stay
+                        # under the read lock plus the tree mutex.
+                        with shard.tree_mutex:
+                            shard_results = shard.index.query_batch(
+                                queries, refine=self.refine)
+                        for out, part in zip(results, shard_results):
+                            out.extend(part)
+            except TransientIOError as exc:
+                # Tag the failure with its shard so the caller can retry
+                # or shed precisely.  Results so far are NOT returned:
+                # this batch attempt is void.
+                raise ShardTransientError(shard.sid, exc) from exc
             if use_clock:
                 self._shard_batch_hists[shard.sid].observe(
                     time.perf_counter() - t0)
@@ -527,11 +585,15 @@ class ShardedStripes:
         pages = registry.gauge(f"{prefix}_pages_in_use",
                                help="record pages across all shards")
         shards_gauge = registry.gauge(f"{prefix}_shards", help="shard count")
+        degraded_gauge = registry.gauge(
+            f"{prefix}_degraded_shards",
+            help="shards currently shed from query fan-out")
 
         def collect() -> None:
             for gauge, shard in zip(entry_gauges, self._shards):
                 gauge.set(len(shard.index))
             pages.set(self.pages_in_use())
             shards_gauge.set(self.n_shards)
+            degraded_gauge.set(len(self.degraded_shards()))
 
         registry.register_collector(collect)

@@ -18,9 +18,12 @@ used in the paper (Section 5.1).  It provides:
 """
 
 from repro.storage.buffer_pool import BufferPool, BufferPoolFullError
+from repro.storage.faults import (FAILPOINTS, FaultyPageFile, InjectedCrash,
+                                  TransientIOError)
 from repro.storage.node_store import RecordStore, SizeClass
 from repro.storage.page import PAGE_SIZE, Page
-from repro.storage.pagefile import InMemoryPageFile, OnDiskPageFile, PageFile
+from repro.storage.pagefile import (InMemoryPageFile, OnDiskPageFile,
+                                    PageFile, fsync_dir)
 from repro.storage.stats import DiskModel, IOStats
 
 __all__ = [
@@ -29,10 +32,15 @@ __all__ = [
     "PageFile",
     "InMemoryPageFile",
     "OnDiskPageFile",
+    "fsync_dir",
     "BufferPool",
     "BufferPoolFullError",
     "RecordStore",
     "SizeClass",
     "IOStats",
     "DiskModel",
+    "FAILPOINTS",
+    "FaultyPageFile",
+    "InjectedCrash",
+    "TransientIOError",
 ]

@@ -64,6 +64,13 @@ class BufferPool:
         # OrderedDict in LRU order: oldest first.
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._eviction_listeners: list[Callable[[int], None]] = []
+        # Optional write guard, invoked with the page id before every
+        # dirty write-back.  The checkpoint layer installs one that
+        # shadows the page's pre-checkpoint on-disk image into an undo
+        # journal, which is what makes between-checkpoint evictions
+        # crash-consistent (see repro.storage.journal).
+        self._write_guard: Callable[[int], None] | None = None
+        self._guard_suspended = 0
 
     # ------------------------------------------------------------------ #
     # Frame management
@@ -92,6 +99,38 @@ class BufferPool:
             self._eviction_listeners.remove(listener)
         except ValueError:
             pass
+
+    def set_write_guard(self,
+                        guard: Callable[[int], None] | None) -> None:
+        """Install (or clear, with ``None``) the pre-write-back guard.
+
+        The guard runs with the page id *before* a dirty page's bytes
+        reach the page file, from :meth:`flush_page` and eviction alike.
+        If it raises, the write-back is abandoned and the page stays
+        resident and dirty -- nothing is lost.
+        """
+        self._write_guard = guard
+
+    @contextmanager
+    def unguarded(self) -> Iterator[None]:
+        """Suspend the write guard for the block.  The checkpoint flush
+        uses this: pages covered by a committed redo journal need no
+        undo shadowing."""
+        self._guard_suspended += 1
+        try:
+            yield
+        finally:
+            self._guard_suspended -= 1
+
+    def dirty_page_images(self) -> "dict[int, bytes]":
+        """Snapshot of every dirty resident page as ``{page id: bytes}``.
+
+        This is the exact set :meth:`flush_all` would write, taken
+        through a public API so the checkpoint journal and the flush are
+        guaranteed to agree on the dirty set.
+        """
+        return {page.page_id: bytes(page.data)
+                for page in self._frames.values() if page.dirty}
 
     def attach_metrics(self, registry, prefix: str = "pool") -> None:
         """Mirror this pool's counters into ``registry`` (a
@@ -200,12 +239,20 @@ class BufferPool:
     # Write-back
     # ------------------------------------------------------------------ #
 
+    def _write_back(self, page: Page) -> None:
+        """Write one dirty page's bytes to the page file, running the
+        write guard first.  Raises before any byte is written when
+        either the guard or the page file fails."""
+        if self._write_guard is not None and not self._guard_suspended:
+            self._write_guard(page.page_id)
+        self.pagefile.write(page.page_id, bytes(page.data))
+        self.stats.physical_writes += 1
+
     def flush_page(self, page_id: int) -> None:
         """Write the page back if dirty; it stays resident."""
         page = self._frames.get(page_id)
         if page is not None and page.dirty:
-            self.pagefile.write(page.page_id, bytes(page.data))
-            self.stats.physical_writes += 1
+            self._write_back(page)
             page.dirty = False
 
     def flush_all(self) -> None:
@@ -251,10 +298,15 @@ class BufferPool:
         )
 
     def _evict(self, page_id: int) -> None:
-        page = self._frames.pop(page_id)
+        # Write back *before* dropping the frame: if the write (or its
+        # guard) raises -- a transient IO fault, say -- the page stays
+        # resident and dirty, and a retried operation still sees it.
+        # The old pop-then-write order silently lost the page's bytes.
+        page = self._frames[page_id]
         if page.dirty:
-            self.pagefile.write(page.page_id, bytes(page.data))
-            self.stats.physical_writes += 1
+            self._write_back(page)
+            page.dirty = False
+        del self._frames[page_id]
         self.stats.evictions += 1
         for listener in self._eviction_listeners:
             listener(page_id)

@@ -253,6 +253,88 @@ class RecordStore:
         """Number of pages currently holding at least one record."""
         return len(self._page_meta)
 
+    def occupied_rids(self):
+        """Yield every record id whose bitmap slot is occupied, straight
+        from the page bytes (not the in-memory mirror).  The index-level
+        checker compares this set against the rids reachable from the
+        tree roots to find leaked or dangling records."""
+        for page_id in sorted(self._page_meta):
+            cls, _ = self._page_meta[page_id]
+            with self.pool.pinned(page_id) as page:
+                bitmap = page.read(cls.bitmap_offset, cls.bitmap_len)
+            for slot in range(cls.num_slots):
+                if bitmap[slot >> 3] & (1 << (slot & 7)):
+                    yield make_rid(page_id, slot)
+
+    def check(self) -> list:
+        """Verify the store's on-page state against its in-memory space
+        map; returns a list of human-readable violations (empty when
+        consistent).
+
+        Checked per mapped page: the on-page header matches the size
+        class the space map claims, the bitmap's population count
+        matches the tracked occupied count, occupancy is non-zero
+        (empty pages must have been freed), and space-list membership
+        is exactly ``occupied < num_slots``.  Globally: no page is both
+        mapped and on the page file's free list, every page-file page is
+        either mapped, free, or was never handed to this store's pool
+        (leak detection is the index-level reachability check), and the
+        free list holds no duplicates.
+        """
+        problems: list = []
+        freed = list(self.pool.pagefile.free_page_ids())
+        freed_set = set(freed)
+        if len(freed) != len(freed_set):
+            problems.append("page file free list contains duplicate ids")
+        for page_id in sorted(self._page_meta):
+            cls, occupied = self._page_meta[page_id]
+            if page_id in freed_set:
+                problems.append(
+                    f"page {page_id} is mapped in the store but on the "
+                    f"page file free list (double free)")
+                continue
+            with self.pool.pinned(page_id) as page:
+                rec_size, num_slots = _HEADER.unpack(
+                    page.read(0, _HEADER.size))
+                bitmap = page.read(cls.bitmap_offset, cls.bitmap_len)
+            if rec_size != cls.record_size or num_slots != cls.num_slots:
+                problems.append(
+                    f"page {page_id} header says ({rec_size} bytes, "
+                    f"{num_slots} slots) but the space map says "
+                    f"({cls.record_size} bytes, {cls.num_slots} slots)")
+            popcount = sum(bin(b).count("1") for b in bitmap)
+            if popcount != occupied:
+                problems.append(
+                    f"page {page_id} bitmap holds {popcount} records but "
+                    f"the space map counts {occupied}")
+            if occupied <= 0:
+                problems.append(
+                    f"page {page_id} is mapped with zero records (empty "
+                    f"pages must be freed)")
+            in_space = page_id in self._pages_with_space_set.get(
+                cls.record_size, ())
+            should = occupied < cls.num_slots
+            if in_space != should:
+                problems.append(
+                    f"page {page_id} ({occupied}/{cls.num_slots} slots) "
+                    f"{'is' if in_space else 'is not'} on the free-space "
+                    f"list but {'should not be' if in_space else 'should be'}")
+        for record_size, members in self._pages_with_space_set.items():
+            stack = self._pages_with_space.get(record_size, [])
+            if set(stack) != members or len(stack) != len(members):
+                problems.append(
+                    f"free-space stack and set disagree for record size "
+                    f"{record_size}")
+            for page_id in members - set(self._page_meta):
+                problems.append(
+                    f"free-space list for record size {record_size} names "
+                    f"unmapped page {page_id}")
+        for page_id in range(self.pool.pagefile.capacity_pages):
+            if page_id not in self._page_meta and page_id not in freed_set:
+                problems.append(
+                    f"page {page_id} is neither mapped nor free (leaked)")
+        return problems
+
     def attach_metrics(self, registry, prefix: str = "store") -> None:
         """Expose store-level occupancy gauges in ``registry`` (a
         :class:`repro.obs.metrics.MetricsRegistry`) via a pull collector."""

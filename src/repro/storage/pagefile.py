@@ -18,9 +18,27 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.storage.page import PAGE_SIZE
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """fsync a *directory*, making renames/removals inside it durable.
+
+    POSIX only persists a directory entry once the directory itself is
+    synced; the journal and sidecar protocols rely on this.  Platforms
+    that cannot open directories (Windows) are silently skipped -- the
+    rename is still atomic there, just not durably ordered.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class PageFile(abc.ABC):
@@ -74,6 +92,16 @@ class PageFile(abc.ABC):
             )
         self._write_page(page_id, data)
 
+    def free_page_ids(self) -> Sequence[int]:
+        """The current free list (ids awaiting reuse), oldest first.
+        Public so invariant checkers can cross-check the space map
+        without reaching into ``_free_list``."""
+        return tuple(self._free_list)
+
+    def sync(self) -> None:
+        """Make every prior :meth:`write` durable (fsync).  In-memory
+        implementations are trivially durable; the default is a no-op."""
+
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any underlying resources."""
 
@@ -108,6 +136,22 @@ class InMemoryPageFile(PageFile):
     def __init__(self, page_size: int = PAGE_SIZE):
         super().__init__(page_size)
         self._pages: list[bytearray] = []
+
+    @classmethod
+    def from_images(cls, images: Sequence[bytes],
+                    page_size: int = PAGE_SIZE) -> "InMemoryPageFile":
+        """Build a page file pre-loaded with ``images`` (one full page
+        each), the way reopening a real file resumes with its extent.
+        Used by the crash harness to reopen a frozen durable image."""
+        pagefile = cls(page_size)
+        for page_id, image in enumerate(images):
+            if len(image) != page_size:
+                raise ValueError(
+                    f"image {page_id} is {len(image)} bytes, expected "
+                    f"{page_size}")
+            pagefile._pages.append(bytearray(image))
+        pagefile._num_pages = len(pagefile._pages)
+        return pagefile
 
     def _extend_to(self, num_pages: int) -> None:
         while len(self._pages) < num_pages:
@@ -164,6 +208,11 @@ class OnDiskPageFile(PageFile):
     def _write_page(self, page_id: int, data: bytes) -> None:
         self._fh.seek(page_id * self.page_size)
         self._fh.write(data)
+
+    def sync(self) -> None:
+        """Flush buffered writes and fsync the backing file."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -33,6 +33,9 @@ class IOStats:
     pages_allocated: int = 0
     pages_freed: int = 0
     evictions: int = 0
+    #: Pre-checkpoint page images copied into the undo journal before a
+    #: between-checkpoint write-back (see repro.storage.journal).
+    shadow_writes: int = 0
 
     def counters(self) -> dict:
         """Every counter as ``{field name: value}``."""

@@ -1,0 +1,228 @@
+"""Unit tests for the fault-injection layer (`repro.storage.faults`):
+operation counting, transient failures, simulated crashes, torn writes,
+the volatile/durable write model, and the named-failpoint registry."""
+
+import random
+
+import pytest
+
+from repro.storage.faults import (FAILPOINTS, FailpointRegistry,
+                                  FaultyPageFile, InjectedCrash,
+                                  TransientIOError)
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pagefile import InMemoryPageFile
+
+
+def image(fill: int) -> bytes:
+    return bytes([fill]) * PAGE_SIZE
+
+
+@pytest.fixture
+def faulty():
+    return FaultyPageFile(InMemoryPageFile())
+
+
+class TestCounters:
+    def test_reads_writes_syncs_counted(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.write(pid, image(2))
+        faulty.read(pid)
+        faulty.sync()
+        assert (faulty.writes, faulty.reads, faulty.syncs) == (2, 1, 1)
+
+    def test_delegates_storage(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(7))
+        assert bytes(faulty.read(pid)) == image(7)
+        assert faulty.capacity_pages == 1
+
+
+class TestTransientFaults:
+    def test_failed_write_not_applied_and_retry_succeeds(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.fail_next_writes(1)
+        with pytest.raises(TransientIOError):
+            faulty.write(pid, image(2))
+        # The failed write did not land; an identical retry does.
+        assert bytes(faulty.read(pid)) == image(1)
+        faulty.write(pid, image(2))
+        assert bytes(faulty.read(pid)) == image(2)
+
+    def test_fail_writes_at_range(self, faulty):
+        pid = faulty.allocate()
+        faulty.fail_writes_at(1, times=2)
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                faulty.write(pid, image(3))
+        faulty.write(pid, image(3))  # third attempt clears the range
+
+    def test_failed_read(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(4))
+        faulty.fail_next_reads(1)
+        with pytest.raises(TransientIOError):
+            faulty.read(pid)
+        assert bytes(faulty.read(pid)) == image(4)
+
+    def test_transient_fault_does_not_freeze(self, faulty):
+        pid = faulty.allocate()
+        faulty.fail_next_writes(1)
+        with pytest.raises(TransientIOError):
+            faulty.write(pid, image(1))
+        assert not faulty.crashed
+
+
+class TestCrashes:
+    def test_crash_at_write_freezes_file(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.crash_at_write(2)
+        with pytest.raises(InjectedCrash):
+            faulty.write(pid, image(2))
+        assert faulty.crashed
+        # A dead process issues no more IO: everything re-raises.
+        for op in (lambda: faulty.read(pid),
+                   lambda: faulty.write(pid, image(3)),
+                   lambda: faulty.sync(),
+                   lambda: faulty.allocate()):
+            with pytest.raises(InjectedCrash):
+                op()
+
+    def test_crashed_write_not_applied(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.sync()
+        faulty.crash_at_write(2)
+        with pytest.raises(InjectedCrash):
+            faulty.write(pid, image(2))
+        assert faulty.durable_image("all")[pid] == image(1)
+
+    def test_crash_at_read(self, faulty):
+        pid = faulty.allocate()
+        faulty.crash_at_read(1)
+        with pytest.raises(InjectedCrash):
+            faulty.read(pid)
+        assert faulty.crashed
+
+
+class TestTornWrites:
+    def test_torn_write_applies_prefix_durably(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(0xAA))
+        faulty.sync()
+        faulty.tear_at_write(2, 100)
+        with pytest.raises(InjectedCrash):
+            faulty.write(pid, image(0xBB))
+        # The torn half-sector reached the platter even under the strict
+        # survival policy.
+        durable = faulty.durable_image("none")[pid]
+        assert durable == image(0xBB)[:100] + image(0xAA)[100:]
+
+    def test_tear_offset_validated(self, faulty):
+        with pytest.raises(ValueError, match="tear offset"):
+            faulty.tear_at_write(1, PAGE_SIZE + 1)
+
+
+class TestDurableImage:
+    def test_none_reverts_unsynced_writes(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.sync()
+        faulty.write(pid, image(2))  # unsynced at crash time
+        assert faulty.durable_image("none")[pid] == image(1)
+        assert faulty.durable_image("all")[pid] == image(2)
+
+    def test_sync_makes_writes_durable(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.sync()
+        assert faulty.durable_image("none")[pid] == image(1)
+
+    def test_preimage_is_first_write_since_sync(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(1))
+        faulty.sync()
+        faulty.write(pid, image(2))
+        faulty.write(pid, image(3))
+        # Reverting loses BOTH unsynced writes, not just the last.
+        assert faulty.durable_image("none")[pid] == image(1)
+
+    def test_random_policy_is_per_page(self, faulty):
+        pids = [faulty.allocate() for _ in range(8)]
+        for pid in pids:
+            faulty.write(pid, image(1))
+        faulty.sync()
+        for pid in pids:
+            faulty.write(pid, image(2))
+        mixed = faulty.durable_image(random.Random(3))
+        assert set(mixed) >= {image(1)} or set(mixed) >= {image(2)}
+        none = faulty.durable_image("none")
+        every = faulty.durable_image("all")
+        assert all(img == image(1) for img in none)
+        assert all(img == image(2) for img in every)
+
+    def test_reopen_durable_round_trip(self, faulty):
+        pid = faulty.allocate()
+        faulty.write(pid, image(9))
+        faulty.sync()
+        reopened = faulty.reopen_durable("none")
+        assert isinstance(reopened, InMemoryPageFile)
+        assert bytes(reopened.read(pid)) == image(9)
+        assert reopened.capacity_pages == faulty.capacity_pages
+
+    def test_clear_faults_disarms_everything(self, faulty):
+        pid = faulty.allocate()
+        faulty.fail_next_writes(5)
+        faulty.crash_at_write(1)
+        faulty.tear_at_write(2, 10)
+        faulty.clear_faults()
+        faulty.write(pid, image(1))  # nothing fires
+        assert not faulty.crashed
+
+
+class TestFailpointRegistry:
+    def test_unarmed_hit_is_noop(self):
+        registry = FailpointRegistry()
+        registry.hit("anything")  # must not raise
+
+    def test_arm_crashes_on_nth_hit(self):
+        registry = FailpointRegistry()
+        registry.arm("spot", hit_number=3)
+        registry.hit("spot")
+        registry.hit("spot")
+        with pytest.raises(InjectedCrash, match="spot"):
+            registry.hit("spot")
+        registry.hit("spot")  # one-shot: disarmed after firing
+
+    def test_arm_transient(self):
+        registry = FailpointRegistry()
+        registry.arm("spot", action="transient")
+        with pytest.raises(TransientIOError):
+            registry.hit("spot")
+
+    def test_arm_validates(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ValueError):
+            registry.arm("spot", hit_number=0)
+        with pytest.raises(ValueError):
+            registry.arm("spot", action="explode")
+
+    def test_record_captures_ordered_hits(self):
+        registry = FailpointRegistry()
+        with registry.record() as hits:
+            registry.hit("a")
+            registry.hit("b")
+            registry.hit("a")
+        registry.hit("c")  # after the block: not recorded
+        assert hits == ["a", "b", "a"]
+
+    def test_clear_disarms(self):
+        registry = FailpointRegistry()
+        registry.arm("spot")
+        registry.clear()
+        registry.hit("spot")
+
+    def test_global_registry_exists(self):
+        assert isinstance(FAILPOINTS, FailpointRegistry)

@@ -10,6 +10,7 @@ from repro.core.persistence import load_index, save_index
 from repro.core.stripes import StripesConfig, StripesIndex
 from repro.query.types import MovingObjectState, TimeSliceQuery
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.faults import FAILPOINTS, InjectedCrash
 from repro.storage.journal import (
     JournalError,
     atomic_flush,
@@ -164,30 +165,33 @@ class TestCrashConsistentIndex:
         return db, pagefile, index, states, rng
 
     def test_crash_between_journal_and_pagefile(self, tmp_path):
-        """Simulated crash: the journal committed but no page reached the
-        page file.  Recovery must replay the checkpoint in full."""
+        """Simulated crash: the sidecar committed but no dirty page
+        reached the page file.  Recovery must replay the checkpoint in
+        full from the committed redo journal."""
         db, pagefile, index, states, rng = self._build(tmp_path)
         meta = tmp_path / "idx.meta"
         journal = tmp_path / "idx.journal"
         baseline = sorted(index.query(
             TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 30.0)))
 
-        # Write the journal exactly as save_index would...
-        from repro.storage.journal import write_journal as wj
-        dirty = {p.page_id: bytes(p.data)
-                 for p in index.pool._frames.values() if p.dirty}
-        wj(journal, dirty, PAGE_SIZE)
-        # ...then "crash": metadata written, but pages never flushed.
-        index_pages_unflushed = index  # noqa: F841  (state dropped)
-        save_index(index, meta)  # writes pages too; undo them:
-        for page_id in dirty:
-            pagefile.write(page_id, b"\x00" * PAGE_SIZE)  # torn flush
-        pagefile.close()
+        # Die right after the sidecar rename: the redo journal and the
+        # sidecar are on disk, the dirty pages are not.
+        FAILPOINTS.arm("checkpoint.sidecar_committed")
+        try:
+            with pytest.raises(InjectedCrash):
+                save_index(index, meta, journal_path=journal)
+        finally:
+            FAILPOINTS.clear()
+        pagefile.close()  # pool frames (the dirty pages) die with it
+        assert journal.exists()
 
         reopened = load_index(db, meta, pool_pages=64,
                               journal_path=journal)
+        assert not journal.exists()
+        assert reopened.checkpoint_id == 1
         assert sorted(reopened.query(
             TimeSliceQuery((0.0, 0.0), (100.0, 100.0), 30.0))) == baseline
+        assert reopened.check() == []
         reopened.pool.pagefile.close()
 
     def test_save_load_with_journal_clean_path(self, tmp_path):
